@@ -1,0 +1,86 @@
+//===- BenchUtil.h - Shared helpers for the benchmark harness ---*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef BENCH_BENCHUTIL_H
+#define BENCH_BENCHUTIL_H
+
+#include "bebop/Bebop.h"
+#include "c2bp/C2bp.h"
+#include "cfront/Normalize.h"
+#include "support/Timer.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <string>
+
+namespace slam {
+namespace benchutil {
+
+/// Result of one C2bp (+ optional Bebop) run on a workload.
+struct RunRow {
+  std::string Name;
+  unsigned Lines = 0;
+  size_t Predicates = 0;
+  uint64_t ProverCalls = 0;
+  uint64_t CubesChecked = 0;
+  double C2bpSeconds = 0;
+  double BebopSeconds = 0;
+  bool Violated = false;
+  bool Ok = false;
+};
+
+/// Runs C2bp (and Bebop when \p RunBebop) on one Table 2 workload.
+inline RunRow runTable2(const workloads::Workload &W,
+                        c2bp::C2bpOptions Options = {},
+                        bool RunBebop = true) {
+  RunRow Row;
+  Row.Name = W.Name;
+  DiagnosticEngine Diags;
+  logic::LogicContext Ctx;
+  auto P = cfront::frontend(W.Source, Diags);
+  if (!P)
+    return Row;
+  Row.Lines = P->SourceLines;
+  auto PS = c2bp::parsePredicateFile(Ctx, W.Predicates, Diags);
+  if (!PS)
+    return Row;
+  Row.Predicates = PS->totalCount();
+  StatsRegistry Stats;
+  Timer T;
+  auto BP = c2bp::abstractProgram(*P, *PS, Ctx, Diags, Options, &Stats);
+  Row.C2bpSeconds = T.seconds();
+  Row.ProverCalls = Stats.get("prover.calls");
+  Row.CubesChecked = Stats.get("c2bp.cubes_checked");
+  if (BP && RunBebop) {
+    Timer T2;
+    bebop::Bebop Checker(*BP);
+    auto R = Checker.run(W.Entry);
+    Row.BebopSeconds = T2.seconds();
+    Row.Violated = R.AssertViolated;
+  }
+  Row.Ok = BP != nullptr;
+  return Row;
+}
+
+inline void printRowHeader(const char *Title) {
+  std::printf("\n%s\n", Title);
+  std::printf("%-10s %6s %6s %12s %10s %10s %9s\n", "program", "lines",
+              "preds", "prover calls", "c2bp (s)", "bebop (s)",
+              "violated");
+}
+
+inline void printRow(const RunRow &Row) {
+  std::printf("%-10s %6u %6zu %12llu %10.2f %10.2f %9s\n",
+              Row.Name.c_str(), Row.Lines, Row.Predicates,
+              static_cast<unsigned long long>(Row.ProverCalls),
+              Row.C2bpSeconds, Row.BebopSeconds,
+              Row.Violated ? "yes" : "no");
+}
+
+} // namespace benchutil
+} // namespace slam
+
+#endif // BENCH_BENCHUTIL_H

@@ -1,0 +1,90 @@
+//===- bench_bdd.cpp - BDD package micro-benchmarks ---------------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// The operations Bebop leans on: conjunction/disjunction of transfer
+// relations, existential quantification of staged rails, and the
+// order-preserving renames between rails.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bdd/Bdd.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace slam;
+using namespace slam::bdd;
+
+namespace {
+
+/// Builds the "rail equality" relation AND_i (x_i <-> y_i) over N pairs
+/// — the workhorse shape of Bebop's bind relations.
+Node railEquality(BddManager &M, int N) {
+  Node R = BddManager::True;
+  for (int I = 0; I != N; ++I)
+    R = M.mkAnd(R, M.mkXnor(M.varNode(2 * I), M.varNode(2 * I + 1)));
+  return R;
+}
+
+void BM_RailEquality(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    BddManager M;
+    for (int I = 0; I != 2 * N; ++I)
+      M.newVar();
+    benchmark::DoNotOptimize(railEquality(M, N));
+    State.counters["nodes"] = static_cast<double>(M.numNodes());
+  }
+}
+BENCHMARK(BM_RailEquality)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ExistsSweep(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  BddManager M;
+  for (int I = 0; I != 2 * N; ++I)
+    M.newVar();
+  Node R = railEquality(M, N);
+  std::vector<int> Evens;
+  for (int I = 0; I != N; ++I)
+    Evens.push_back(2 * I);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(M.exists(R, Evens));
+}
+BENCHMARK(BM_ExistsSweep)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Rename(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  BddManager M;
+  for (int I = 0; I != 2 * N; ++I)
+    M.newVar();
+  // A function over the even rail; rename to the odd rail.
+  Node F = BddManager::True;
+  for (int I = 0; I + 2 < N; ++I)
+    F = M.mkAnd(F, M.mkOr(M.varNode(2 * I), M.varNode(2 * I + 2)));
+  std::map<int, int> Ren;
+  for (int I = 0; I != N; ++I)
+    Ren[2 * I] = 2 * I + 1;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(M.rename(F, Ren));
+}
+BENCHMARK(BM_Rename)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_IteChain(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    BddManager M;
+    for (int I = 0; I != N; ++I)
+      M.newVar();
+    Node F = BddManager::False;
+    for (int I = 0; I != N; ++I)
+      F = M.mkIte(M.varNode(I), M.mkNot(F), F);
+    benchmark::DoNotOptimize(F);
+  }
+}
+BENCHMARK(BM_IteChain)->Arg(16)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+//===- bench_bebop.cpp - Bebop scaling ("under 10 seconds") ------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper: "For all these examples ... Bebop ran in under 10 seconds
+// on the boolean program output by C2bp." Two measurements:
+//
+//   1. Bebop on every boolean program our Table 1 / Table 2 runs
+//      produce (all should be well under the bound);
+//   2. a synthetic scaling sweep: generated boolean programs with
+//      growing variable counts and loop nests, reporting time and peak
+//      BDD node counts (the symbolic representation is what keeps the
+//      2^n state spaces tractable).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "bp/BPParser.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace slam;
+
+namespace {
+
+/// Generates a boolean program with N correlated variables updated in
+/// nested nondeterministic control flow, plus an invariant assert.
+std::string syntheticBP(int NumVars) {
+  std::string Out = "void main() begin\n  decl ";
+  for (int I = 0; I != NumVars; ++I)
+    Out += (I ? ", b" : "b") + std::to_string(I);
+  Out += ";\n";
+  // Establish a parity invariant: b0 == b1, b2 == b3, ...
+  for (int I = 0; I + 1 < NumVars; I += 2) {
+    Out += "  b" + std::to_string(I) + " := *;\n";
+    Out += "  b" + std::to_string(I + 1) + " := b" + std::to_string(I) +
+           ";\n";
+  }
+  // Churn inside a loop, preserving the invariant pairwise.
+  Out += "  while (*) begin\n";
+  for (int I = 0; I + 1 < NumVars; I += 2) {
+    Out += "    if (*) begin\n";
+    Out += "      b" + std::to_string(I) + ", b" + std::to_string(I + 1) +
+           " := !b" + std::to_string(I) + ", !b" + std::to_string(I + 1) +
+           ";\n";
+    Out += "    end\n";
+  }
+  Out += "  end\n";
+  for (int I = 0; I + 1 < NumVars; I += 2)
+    Out += "  assert(b" + std::to_string(I) + " == b" +
+           std::to_string(I + 1) + ");\n";
+  Out += "end\n";
+  return Out;
+}
+
+double runSynthetic(int NumVars, size_t *BddNodes = nullptr) {
+  DiagnosticEngine Diags;
+  auto P = bp::parseBProgram(syntheticBP(NumVars), Diags);
+  Timer T;
+  bebop::Bebop Checker(*P);
+  auto R = Checker.run("main");
+  double Secs = T.seconds();
+  if (R.AssertViolated)
+    std::printf("  (unexpected violation at %d vars!)\n", NumVars);
+  if (BddNodes)
+    *BddNodes = Checker.bddNodes();
+  return Secs;
+}
+
+void BM_BebopSynthetic(benchmark::State &State) {
+  int NumVars = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    size_t Nodes = 0;
+    double Secs = runSynthetic(NumVars, &Nodes);
+    benchmark::DoNotOptimize(Secs);
+    State.counters["bdd_nodes"] = static_cast<double>(Nodes);
+  }
+}
+
+BENCHMARK(BM_BebopSynthetic)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(24)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf("\nBebop on the Table 2 boolean programs (paper: \"under "
+              "10 seconds\" each)\n");
+  std::printf("%-10s %10s %9s\n", "program", "bebop (s)", "violated");
+  for (const workloads::Workload *W : workloads::table2Workloads()) {
+    c2bp::C2bpOptions Options;
+    Options.Cubes.MaxCubeLength = 3;
+    benchutil::RunRow Row = benchutil::runTable2(*W, Options);
+    std::printf("%-10s %10.3f %9s\n", Row.Name.c_str(), Row.BebopSeconds,
+                Row.Violated ? "yes" : "no");
+  }
+
+  std::printf("\nSynthetic scaling (N correlated variables, loop churn; "
+              "2^N states):\n");
+  std::printf("%6s %10s %12s\n", "vars", "time (s)", "bdd nodes");
+  for (int N : {8, 16, 24, 32, 40}) {
+    size_t Nodes = 0;
+    double Secs = runSynthetic(N, &Nodes);
+    std::printf("%6d %10.3f %12zu\n", N, Secs, Nodes);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

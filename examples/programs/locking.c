@@ -1,0 +1,20 @@
+/* A small driver-style program following the locking discipline only
+   when the flag correlation is understood (the classic SLAM example:
+   refinement must discover `flag > 0`). */
+void AcquireLock() { }
+void ReleaseLock() { }
+int nondet();
+
+void main() {
+  int flag;
+  int work;
+  flag = nondet();
+  work = 0;
+  if (flag > 0) {
+    AcquireLock();
+  }
+  work = work + 1;
+  if (flag > 0) {
+    ReleaseLock();
+  }
+}

@@ -1,0 +1,16 @@
+/* The buggy variant: the release guard has the wrong polarity, so the
+   lock can be released without having been acquired. */
+void AcquireLock() { }
+void ReleaseLock() { }
+int nondet();
+
+void main() {
+  int flag;
+  flag = nondet();
+  if (flag > 0) {
+    AcquireLock();
+  }
+  if (flag <= 0) {
+    ReleaseLock();
+  }
+}

@@ -1,0 +1,27 @@
+/* Figure 1(a) of the paper: destructively partition a list around v. */
+typedef struct cell {
+  int val;
+  struct cell* next;
+} *list;
+
+list partition(list *l, int v) {
+  list curr, prev, newl, nextcurr;
+  curr = *l;
+  prev = NULL;
+  newl = NULL;
+  while (curr != NULL) {
+    nextcurr = curr->next;
+    if (curr->val > v) {
+      if (prev != NULL)
+        prev->next = nextcurr;
+      if (curr == *l)
+        *l = nextcurr;
+      curr->next = newl;
+      L: newl = curr;
+    } else {
+      prev = curr;
+    }
+    curr = nextcurr;
+  }
+  return newl;
+}

@@ -1,0 +1,180 @@
+//===- Oracle.cpp -----------------------------------------------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alias/Oracle.h"
+
+using namespace slam;
+using namespace slam::alias;
+using namespace slam::cfront;
+using logic::AliasResult;
+using logic::ExprKind;
+using logic::ExprRef;
+
+const VarDecl *ProgramAliasOracle::resolve(const std::string &Name) const {
+  if (Func)
+    if (VarDecl *V = Func->findLocalOrParam(Name))
+      return V;
+  return P.findGlobal(Name);
+}
+
+const Type *ProgramAliasOracle::typeOf(ExprRef E) const {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return P.Types.intType();
+  case ExprKind::NullLit:
+    return nullptr; // Polymorphic; callers treat null as "unknown".
+  case ExprKind::Var: {
+    const VarDecl *V = resolve(E->name());
+    return V ? V->Ty : nullptr;
+  }
+  case ExprKind::Deref: {
+    const Type *T = typeOf(E->op(0));
+    return T && T->isPointer() ? T->pointee() : nullptr;
+  }
+  case ExprKind::Field: {
+    const Type *Base = typeOf(E->op(0));
+    if (!Base || !Base->isRecord())
+      return nullptr;
+    const RecordDecl::Field *F = Base->record()->findField(E->name());
+    return F ? F->Ty : nullptr;
+  }
+  case ExprKind::Index: {
+    const Type *Base = typeOf(E->op(0));
+    if (!Base)
+      return nullptr;
+    if (Base->isArray())
+      return Base->elementType();
+    if (Base->isPointer())
+      return Base->pointee();
+    return nullptr;
+  }
+  case ExprKind::AddrOf: {
+    const Type *T = typeOf(E->op(0));
+    // typeOf is used for equality pruning only, so interning through a
+    // const TypeContext is not possible; report unknown instead.
+    (void)T;
+    return nullptr;
+  }
+  case ExprKind::Neg:
+  case ExprKind::Add:
+  case ExprKind::Sub:
+  case ExprKind::Mul:
+  case ExprKind::Div:
+  case ExprKind::Mod: {
+    // Pointer arithmetic keeps the pointer type (logical model).
+    const Type *L = typeOf(E->op(0));
+    if (L && L->isPointer())
+      return L;
+    if (E->numOperands() > 1) {
+      const Type *R = typeOf(E->op(1));
+      if (R && R->isPointer())
+        return R;
+    }
+    return P.Types.intType();
+  }
+  default:
+    return nullptr;
+  }
+}
+
+std::optional<std::set<int>>
+ProgramAliasOracle::valueCellsOf(ExprRef Ptr) const {
+  switch (Ptr->kind()) {
+  case ExprKind::NullLit:
+    return std::set<int>{};
+  case ExprKind::AddrOf:
+    return cellsOf(Ptr->op(0));
+  case ExprKind::Var:
+  case ExprKind::Deref:
+  case ExprKind::Field:
+  case ExprKind::Index: {
+    auto Cells = cellsOf(Ptr);
+    if (!Cells)
+      return std::nullopt;
+    std::set<int> Out;
+    for (int C : *Cells)
+      Out.insert(PT.pts(C).begin(), PT.pts(C).end());
+    return Out;
+  }
+  case ExprKind::Add:
+  case ExprKind::Sub: {
+    // Pointer arithmetic points into the same object.
+    const Type *L = typeOf(Ptr->op(0));
+    if (L && L->isPointer())
+      return valueCellsOf(Ptr->op(0));
+    if (Ptr->numOperands() > 1)
+      return valueCellsOf(Ptr->op(1));
+    return std::nullopt;
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<std::set<int>> ProgramAliasOracle::cellsOf(ExprRef Loc) const {
+  switch (Loc->kind()) {
+  case ExprKind::Var: {
+    const VarDecl *V = resolve(Loc->name());
+    if (!V)
+      return std::nullopt;
+    int C = PT.varCell(V);
+    if (C < 0)
+      return std::nullopt;
+    return std::set<int>{C};
+  }
+  case ExprKind::Field: {
+    const Type *Base = typeOf(Loc->op(0));
+    if (!Base || !Base->isRecord())
+      return std::nullopt;
+    int C = PT.fieldCell(Base->record(), Loc->name());
+    if (C < 0)
+      return std::nullopt;
+    return std::set<int>{C};
+  }
+  case ExprKind::Deref:
+    return valueCellsOf(Loc->op(0));
+  case ExprKind::Index: {
+    const Type *Base = typeOf(Loc->op(0));
+    if (Base && Base->isArray() && Loc->op(0)->kind() == ExprKind::Var) {
+      const VarDecl *V = resolve(Loc->op(0)->name());
+      int C = V ? PT.elemCell(V) : -1;
+      if (C < 0)
+        return std::nullopt;
+      return std::set<int>{C};
+    }
+    return valueCellsOf(Loc->op(0));
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+AliasResult ProgramAliasOracle::alias(ExprRef A, ExprRef B) const {
+  // The purely syntactic rules are sound and already handle must-alias
+  // and the variable/field/array shape distinctions.
+  AliasResult ByShape = Shape.alias(A, B);
+  if (ByShape != AliasResult::MayAlias)
+    return ByShape;
+
+  // Cells of different static types never overlap in SIL-C (there are
+  // no unions or casts).
+  const Type *TA = typeOf(A), *TB = typeOf(B);
+  if (TA && TB && TA != TB)
+    return AliasResult::NoAlias;
+
+  auto CA = cellsOf(A), CB = cellsOf(B);
+  if (CA && CB) {
+    bool Overlap = false;
+    for (int C : *CA)
+      if (CB->count(C)) {
+        Overlap = true;
+        break;
+      }
+    if (!Overlap)
+      return AliasResult::NoAlias;
+  }
+  return AliasResult::MayAlias;
+}

@@ -1,0 +1,61 @@
+//===- Oracle.h - Points-to-backed alias oracle -----------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bridges the points-to analysis into the logic layer: answers
+/// may/must-alias queries about predicate locations (logic::Expr) in the
+/// scope of one procedure, using declaration types and abstract cells.
+/// This is the component that lets C2bp prune Morris-axiom disjuncts
+/// (Section 4.2) — e.g. in Figure 1, none of curr/prev/newl/nextcurr is
+/// address-taken, so no assignment through a pointer can affect them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIAS_ORACLE_H
+#define ALIAS_ORACLE_H
+
+#include "alias/PointsTo.h"
+#include "logic/AliasOracle.h"
+
+#include <optional>
+
+namespace slam {
+namespace alias {
+
+/// A logic::AliasOracle for predicates local to one procedure (or
+/// global, with Func == nullptr).
+class ProgramAliasOracle : public logic::AliasOracle {
+public:
+  ProgramAliasOracle(const PointsTo &PT, const cfront::Program &P,
+                     const cfront::FuncDecl *Func)
+      : PT(PT), P(P), Func(Func) {}
+
+  logic::AliasResult alias(logic::ExprRef A,
+                           logic::ExprRef B) const override;
+
+  /// Static type of a predicate-language term, or nullptr when it
+  /// mentions names unknown to the program (auxiliary predicate
+  /// variables are treated conservatively).
+  const cfront::Type *typeOf(logic::ExprRef E) const;
+
+  /// Abstract cells a predicate location may denote; nullopt when
+  /// unresolvable.
+  std::optional<std::set<int>> cellsOf(logic::ExprRef Loc) const;
+
+private:
+  const cfront::VarDecl *resolve(const std::string &Name) const;
+  std::optional<std::set<int>> valueCellsOf(logic::ExprRef Ptr) const;
+
+  const PointsTo &PT;
+  const cfront::Program &P;
+  const cfront::FuncDecl *Func;
+  logic::ShapeAliasOracle Shape;
+};
+
+} // namespace alias
+} // namespace slam
+
+#endif // ALIAS_ORACLE_H

@@ -1,0 +1,242 @@
+//===- Bdd.cpp - ROBDD operations ------------------------------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bdd/Bdd.h"
+
+#include <cassert>
+#include <climits>
+#include <cmath>
+#include <set>
+
+using namespace slam;
+using namespace slam::bdd;
+
+BddManager::BddManager() {
+  Nodes.push_back({INT_MAX, False, False}); // 0 = false terminal.
+  Nodes.push_back({INT_MAX, True, True});   // 1 = true terminal.
+}
+
+int BddManager::newVar() { return NumVars++; }
+
+Node BddManager::mk(int Var, Node Lo, Node Hi) {
+  if (Lo == Hi)
+    return Lo;
+  auto Key = std::make_tuple(Var, Lo, Hi);
+  auto It = Unique.find(Key);
+  if (It != Unique.end())
+    return It->second;
+  Node N = static_cast<Node>(Nodes.size());
+  Nodes.push_back({Var, Lo, Hi});
+  Unique.emplace(Key, N);
+  return N;
+}
+
+Node BddManager::varNode(int Var) {
+  assert(Var >= 0 && Var < NumVars && "unknown variable");
+  return mk(Var, False, True);
+}
+
+Node BddManager::nvarNode(int Var) {
+  assert(Var >= 0 && Var < NumVars && "unknown variable");
+  return mk(Var, True, False);
+}
+
+Node BddManager::mkIte(Node F, Node G, Node H) {
+  // Terminal cases.
+  if (F == True)
+    return G;
+  if (F == False)
+    return H;
+  if (G == H)
+    return G;
+  if (G == True && H == False)
+    return F;
+
+  auto Key = std::make_tuple(F, G, H);
+  auto It = IteCache.find(Key);
+  if (It != IteCache.end())
+    return It->second;
+
+  int Top = std::min(level(F), std::min(level(G), level(H)));
+  auto Cof = [this, Top](Node N, bool High) {
+    if (level(N) != Top)
+      return N;
+    return High ? Nodes[N].Hi : Nodes[N].Lo;
+  };
+  Node Lo = mkIte(Cof(F, false), Cof(G, false), Cof(H, false));
+  Node Hi = mkIte(Cof(F, true), Cof(G, true), Cof(H, true));
+  Node R = mk(Top, Lo, Hi);
+  IteCache.emplace(Key, R);
+  return R;
+}
+
+Node BddManager::restrict(Node F, int Var, bool Value) {
+  if (F <= True || level(F) > Var)
+    return F;
+  if (level(F) == Var)
+    return Value ? Nodes[F].Hi : Nodes[F].Lo;
+  // level(F) < Var: rebuild children. Use the ite cache indirectly by
+  // routing through mkIte with the variable's literal. A direct
+  // recursion with a local memo is faster and simpler:
+  std::unordered_map<Node, Node> Memo;
+  std::function<Node(Node)> Rec = [&](Node N) -> Node {
+    if (N <= True || level(N) > Var)
+      return N;
+    auto It = Memo.find(N);
+    if (It != Memo.end())
+      return It->second;
+    Node R;
+    if (level(N) == Var)
+      R = Value ? Nodes[N].Hi : Nodes[N].Lo;
+    else
+      R = mk(Nodes[N].Var, Rec(Nodes[N].Lo), Rec(Nodes[N].Hi));
+    Memo.emplace(N, R);
+    return R;
+  };
+  return Rec(F);
+}
+
+Node BddManager::exists(Node F, const std::vector<int> &Vars) {
+  // Quantify highest-level (deepest) variables first to keep
+  // intermediate results small.
+  std::set<int> Sorted(Vars.begin(), Vars.end());
+  Node R = F;
+  for (auto It = Sorted.rbegin(); It != Sorted.rend(); ++It)
+    R = mkOr(restrict(R, *It, false), restrict(R, *It, true));
+  return R;
+}
+
+Node BddManager::forall(Node F, const std::vector<int> &Vars) {
+  std::set<int> Sorted(Vars.begin(), Vars.end());
+  Node R = F;
+  for (auto It = Sorted.rbegin(); It != Sorted.rend(); ++It)
+    R = mkAnd(restrict(R, *It, false), restrict(R, *It, true));
+  return R;
+}
+
+Node BddManager::rename(Node F, const std::map<int, int> &VarMap) {
+#ifndef NDEBUG
+  // Order preservation: the map, extended with identity on unmapped
+  // variables, must be strictly increasing.
+  int PrevFrom = -1, PrevTo = -1;
+  for (const auto &[From, To] : VarMap) {
+    assert(From > PrevFrom && To > PrevTo &&
+           "rename must be order-preserving");
+    PrevFrom = From;
+    PrevTo = To;
+  }
+#endif
+  std::unordered_map<Node, Node> Memo;
+  std::function<Node(Node)> Rec = [&](Node N) -> Node {
+    if (N <= True)
+      return N;
+    auto It = Memo.find(N);
+    if (It != Memo.end())
+      return It->second;
+    int Var = Nodes[N].Var;
+    auto MapIt = VarMap.find(Var);
+    int NewVar = MapIt == VarMap.end() ? Var : MapIt->second;
+    Node R = mk(NewVar, Rec(Nodes[N].Lo), Rec(Nodes[N].Hi));
+    Memo.emplace(N, R);
+    return R;
+  };
+  return Rec(F);
+}
+
+double BddManager::satCount(Node F, int OverVars) {
+  std::unordered_map<Node, double> Memo;
+  std::function<double(Node)> Rec = [&](Node N) -> double {
+    if (N == False)
+      return 0.0;
+    if (N == True)
+      return 1.0;
+    auto It = Memo.find(N);
+    if (It != Memo.end())
+      return It->second;
+    // Each child count is scaled by skipped levels at the call site;
+    // here count over the subspace below this node's variable.
+    double Lo = Rec(Nodes[N].Lo);
+    double Hi = Rec(Nodes[N].Hi);
+    int LoSkip =
+        (Nodes[N].Lo <= True ? OverVars : level(Nodes[N].Lo)) -
+        Nodes[N].Var - 1;
+    int HiSkip =
+        (Nodes[N].Hi <= True ? OverVars : level(Nodes[N].Hi)) -
+        Nodes[N].Var - 1;
+    double R = Lo * std::pow(2.0, LoSkip) + Hi * std::pow(2.0, HiSkip);
+    Memo.emplace(N, R);
+    return R;
+  };
+  if (F == False)
+    return 0.0;
+  if (F == True)
+    return std::pow(2.0, OverVars);
+  return Rec(F) * std::pow(2.0, level(F));
+}
+
+void BddManager::forEachCube(
+    Node F,
+    const std::function<void(const std::map<int, bool> &)> &Callback) {
+  std::map<int, bool> Path;
+  std::function<void(Node)> Rec = [&](Node N) {
+    if (N == False)
+      return;
+    if (N == True) {
+      Callback(Path);
+      return;
+    }
+    Path[Nodes[N].Var] = false;
+    Rec(Nodes[N].Lo);
+    Path[Nodes[N].Var] = true;
+    Rec(Nodes[N].Hi);
+    Path.erase(Nodes[N].Var);
+  };
+  Rec(F);
+}
+
+std::map<int, bool> BddManager::anySat(Node F) {
+  std::map<int, bool> Out;
+  Node N = F;
+  while (N > True) {
+    if (Nodes[N].Lo != False) {
+      Out[Nodes[N].Var] = false;
+      N = Nodes[N].Lo;
+    } else {
+      Out[Nodes[N].Var] = true;
+      N = Nodes[N].Hi;
+    }
+  }
+  return Out;
+}
+
+Node BddManager::cube(const std::vector<std::pair<int, bool>> &Literals) {
+  Node R = True;
+  for (const auto &[Var, Value] : Literals)
+    R = mkAnd(R, Value ? varNode(Var) : nvarNode(Var));
+  return R;
+}
+
+bool BddManager::eval(Node F, const std::map<int, bool> &Assignment) const {
+  Node N = F;
+  while (N > True) {
+    auto It = Assignment.find(Nodes[N].Var);
+    bool V = It != Assignment.end() && It->second;
+    N = V ? Nodes[N].Hi : Nodes[N].Lo;
+  }
+  return N == True;
+}
+
+size_t BddManager::nodeCount(Node F) const {
+  std::set<Node> Seen;
+  std::function<void(Node)> Rec = [&](Node N) {
+    if (N <= True || !Seen.insert(N).second)
+      return;
+    Rec(Nodes[N].Lo);
+    Rec(Nodes[N].Hi);
+  };
+  Rec(F);
+  return Seen.size() + 2;
+}

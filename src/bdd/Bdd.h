@@ -1,0 +1,144 @@
+//===- Bdd.h - Reduced ordered binary decision diagrams ---------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch ROBDD package [9] — the symbolic representation Bebop
+/// uses for reachable-state sets and statement transfer functions. Nodes
+/// are interned in a unique table (so BDD equality is integer equality),
+/// all boolean connectives route through a memoized ite, and the
+/// quantification/rename operations Bebop needs (exists over a variable
+/// set, order-preserving renaming between variable rails) are provided.
+///
+/// No garbage collection: the model-checking runs in this project peak
+/// at well under a million nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BDD_BDD_H
+#define BDD_BDD_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace slam {
+namespace bdd {
+
+/// BDD node handle; 0 and 1 are the terminals.
+using Node = int32_t;
+
+class BddManager {
+public:
+  static constexpr Node False = 0;
+  static constexpr Node True = 1;
+
+  BddManager();
+
+  /// Creates the next variable (level == index).
+  int newVar();
+
+  int numVars() const { return NumVars; }
+  size_t numNodes() const { return Nodes.size(); }
+
+  // -- Basic constructors ---------------------------------------------------
+  Node varNode(int Var);  ///< The function `Var`.
+  Node nvarNode(int Var); ///< The function `!Var`.
+  Node constant(bool B) { return B ? True : False; }
+
+  // -- Connectives ------------------------------------------------------------
+  Node mkIte(Node F, Node G, Node H);
+  Node mkAnd(Node A, Node B) { return mkIte(A, B, False); }
+  Node mkOr(Node A, Node B) { return mkIte(A, True, B); }
+  Node mkNot(Node A) { return mkIte(A, False, True); }
+  Node mkXor(Node A, Node B) { return mkIte(A, mkNot(B), B); }
+  Node mkXnor(Node A, Node B) { return mkIte(A, B, mkNot(B)); }
+  Node mkImplies(Node A, Node B) { return mkIte(A, B, True); }
+
+  // -- Cofactors and quantification ------------------------------------------
+  /// F with Var fixed to Value.
+  Node restrict(Node F, int Var, bool Value);
+
+  /// Existential quantification over each variable in \p Vars.
+  Node exists(Node F, const std::vector<int> &Vars);
+
+  /// Universal quantification.
+  Node forall(Node F, const std::vector<int> &Vars);
+
+  /// Renames variables: each (From -> To) pair replaces From by To. The
+  /// map must be strictly order-preserving on levels and targets must
+  /// not collide with remaining variables of F in a way that reorders
+  /// levels (asserted). This covers Bebop's rail-to-rail renames.
+  Node rename(Node F, const std::map<int, int> &VarMap);
+
+  // -- Queries ------------------------------------------------------------
+  bool isSat(Node F) const { return F != False; }
+  bool isTautology(Node F) const { return F == True; }
+
+  /// Number of satisfying assignments over \p OverVars variables.
+  double satCount(Node F, int OverVars);
+
+  /// Enumerates the cubes (paths to True): each cube maps a subset of
+  /// variables to values; unmentioned variables are don't-cares.
+  void forEachCube(Node F,
+                   const std::function<void(const std::map<int, bool> &)>
+                       &Callback);
+
+  /// One satisfying cube (smallest-level greedy), or empty if F = false.
+  std::map<int, bool> anySat(Node F);
+
+  /// Builds the conjunction of literals.
+  Node cube(const std::vector<std::pair<int, bool>> &Literals);
+
+  /// Evaluates F under a total assignment (missing vars read false).
+  bool eval(Node F, const std::map<int, bool> &Assignment) const;
+
+  /// Structural node count of one BDD (distinct reachable nodes).
+  size_t nodeCount(Node F) const;
+
+private:
+  struct NodeData {
+    int Var;
+    Node Lo;
+    Node Hi;
+  };
+
+  int level(Node N) const {
+    return Nodes[N].Var; // Terminals have Var = INT_MAX.
+  }
+
+  Node mk(int Var, Node Lo, Node Hi);
+
+  std::vector<NodeData> Nodes;
+  int NumVars = 0;
+
+  struct TripleHash {
+    size_t operator()(const std::tuple<int, Node, Node> &T) const {
+      auto [A, B, C] = T;
+      size_t H = std::hash<int>()(A);
+      H = H * 1000003u ^ std::hash<Node>()(B);
+      H = H * 1000003u ^ std::hash<Node>()(C);
+      return H;
+    }
+  };
+  struct IteHash {
+    size_t operator()(const std::tuple<Node, Node, Node> &T) const {
+      auto [A, B, C] = T;
+      size_t H = std::hash<Node>()(A);
+      H = H * 1000003u ^ std::hash<Node>()(B);
+      H = H * 1000003u ^ std::hash<Node>()(C);
+      return H;
+    }
+  };
+  std::unordered_map<std::tuple<int, Node, Node>, Node, TripleHash> Unique;
+  std::unordered_map<std::tuple<Node, Node, Node>, Node, IteHash> IteCache;
+};
+
+} // namespace bdd
+} // namespace slam
+
+#endif // BDD_BDD_H

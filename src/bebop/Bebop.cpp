@@ -1,0 +1,878 @@
+//===- Bebop.cpp - Summary-based BDD reachability ---------------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// Variable layout: every procedure owns a block of BDD variables, five
+// "rails" per boolean program variable in scope (globals, parameters,
+// locals, and one pseudo-variable per return value):
+//
+//   E  — value at procedure entry (the context half of a path edge);
+//   C  — current value;
+//   N  — next value (transfer staging for assignments);
+//   SE — summary input (entry) rail;
+//   SC — summary output rail.
+//
+// Path edges PE(n) live over (E, C). Summaries live over (SE, SC), so
+// applying a summary at a call site — including a recursive one — never
+// collides with the caller's own rails. All renames used (N->C, SE->E,
+// E->SE / C->SC, C_t->N_t) are order-preserving by construction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bebop/Bebop.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace slam;
+using namespace slam::bebop;
+using namespace slam::bp;
+using bdd::BddManager;
+using bdd::Node;
+
+namespace {
+
+enum Rail { RailE = 0, RailC = 1, RailN = 2, RailSE = 3, RailSC = 4 };
+
+} // namespace
+
+struct Bebop::Impl {
+  const BProgram &Prog;
+  StatsRegistry *Stats;
+  BddManager M;
+  DiagnosticEngine Diags;
+
+  struct ProcInfo {
+    const BProc *Proc = nullptr;
+    std::unique_ptr<ProcCfg> Cfg;
+    std::vector<std::string> Vars; // globals ++ params ++ locals ++ rets.
+    std::map<std::string, int> VarIndex;
+    int NumGlobals = 0, NumParams = 0, NumLocals = 0, NumRets = 0;
+    int Base = 0;
+
+    std::vector<Node> PE;
+    /// Per node: (rank, cumulative PE) growth log for traces.
+    std::vector<std::vector<std::pair<uint64_t, Node>>> Log;
+
+    Node Summary = BddManager::False;
+    std::vector<std::pair<uint64_t, Node>> SummaryLog;
+    Node EntrySeen = BddManager::False;
+    struct EntryRec {
+      uint64_t Rank;
+      Node States; // Over the E rail.
+      int CallerProc;
+      int CallerNode;
+    };
+    std::vector<EntryRec> EntryLog;
+
+    Node EnforceBdd = BddManager::True; // Over the C rail.
+
+    int numVars() const {
+      return NumGlobals + NumParams + NumLocals + NumRets;
+    }
+  };
+
+  std::vector<ProcInfo> Procs;
+  std::map<std::string, int> ProcIndex;
+  std::vector<int> ChoiceVars;
+  uint64_t Rank = 0;
+  std::deque<std::pair<int, int>> Worklist;
+  /// Call sites per callee proc index: (caller proc, caller node).
+  std::map<int, std::vector<std::pair<int, int>>> CallSites;
+
+  // First observed assertion failure.
+  bool Failed = false;
+  int FailProc = -1, FailNode = -1;
+  Node FailStates = BddManager::False;
+
+  explicit Impl(const BProgram &P, StatsRegistry *Stats)
+      : Prog(P), Stats(Stats) {
+    build();
+  }
+
+  // -- Layout ----------------------------------------------------------------
+  int railVar(const ProcInfo &PI, int VarIdx, Rail R) const {
+    return PI.Base + 5 * VarIdx + R;
+  }
+
+  void build() {
+    Procs.resize(Prog.Procs.size());
+    for (size_t I = 0; I != Prog.Procs.size(); ++I) {
+      const BProc *BP = Prog.Procs[I];
+      ProcInfo &PI = Procs[I];
+      PI.Proc = BP;
+      ProcIndex[BP->Name] = static_cast<int>(I);
+      PI.Cfg = std::make_unique<ProcCfg>(*BP, Diags);
+
+      for (const std::string &G : Prog.Globals)
+        PI.Vars.push_back(G);
+      PI.NumGlobals = static_cast<int>(Prog.Globals.size());
+      for (const std::string &Pm : BP->Params)
+        PI.Vars.push_back(Pm);
+      PI.NumParams = static_cast<int>(BP->Params.size());
+      for (const std::string &L : BP->Locals)
+        PI.Vars.push_back(L);
+      PI.NumLocals = static_cast<int>(BP->Locals.size());
+      for (unsigned K = 0; K != BP->NumReturns; ++K)
+        PI.Vars.push_back("<ret" + std::to_string(K) + ">");
+      PI.NumRets = static_cast<int>(BP->NumReturns);
+
+      // Last declaration wins, so parameters and locals shadow globals.
+      for (int V = 0; V != PI.numVars(); ++V)
+        PI.VarIndex[PI.Vars[V]] = V;
+
+      PI.Base = M.numVars();
+      for (int V = 0; V != 5 * PI.numVars(); ++V)
+        M.newVar();
+
+      PI.PE.assign(PI.Cfg->numNodes(), BddManager::False);
+      PI.Log.resize(PI.Cfg->numNodes());
+    }
+
+    // Enforce BDDs need the variable blocks allocated first.
+    for (ProcInfo &PI : Procs) {
+      if (PI.Proc->Enforce) {
+        std::vector<int> Ch;
+        PI.EnforceBdd = encode(PI, PI.Proc->Enforce, Ch);
+        PI.EnforceBdd = M.exists(PI.EnforceBdd, Ch);
+      }
+    }
+
+    // Call-site map.
+    for (size_t I = 0; I != Procs.size(); ++I) {
+      const ProcCfg &Cfg = *Procs[I].Cfg;
+      for (int N = 0; N != Cfg.numNodes(); ++N) {
+        if (Cfg.node(N).Op != NodeOp::Call)
+          continue;
+        auto It = ProcIndex.find(Cfg.node(N).Stmt->Callee);
+        assert(It != ProcIndex.end() && "verified program");
+        CallSites[It->second].emplace_back(static_cast<int>(I), N);
+      }
+    }
+  }
+
+  int ensureChoice(size_t K) {
+    while (ChoiceVars.size() <= K)
+      ChoiceVars.push_back(M.newVar());
+    return ChoiceVars[K];
+  }
+
+  // -- Expression encoding ------------------------------------------------
+  Node encode(ProcInfo &PI, const BExpr *E, std::vector<int> &Choices) {
+    switch (E->Kind) {
+    case BExprKind::Const:
+      return M.constant(E->BoolValue);
+    case BExprKind::Star: {
+      int V = ensureChoice(Choices.size());
+      Choices.push_back(V);
+      return M.varNode(V);
+    }
+    case BExprKind::VarRef: {
+      auto It = PI.VarIndex.find(E->Name);
+      assert(It != PI.VarIndex.end() && "verified program");
+      return M.varNode(railVar(PI, It->second, RailC));
+    }
+    case BExprKind::Not:
+      return M.mkNot(encode(PI, E->Ops[0], Choices));
+    case BExprKind::And:
+      return M.mkAnd(encode(PI, E->Ops[0], Choices),
+                     encode(PI, E->Ops[1], Choices));
+    case BExprKind::Or:
+      return M.mkOr(encode(PI, E->Ops[0], Choices),
+                    encode(PI, E->Ops[1], Choices));
+    case BExprKind::Eq:
+      return M.mkXnor(encode(PI, E->Ops[0], Choices),
+                      encode(PI, E->Ops[1], Choices));
+    case BExprKind::Ne:
+      return M.mkXor(encode(PI, E->Ops[0], Choices),
+                     encode(PI, E->Ops[1], Choices));
+    case BExprKind::Choose: {
+      Node Pos = encode(PI, E->Ops[0], Choices);
+      Node Neg = encode(PI, E->Ops[1], Choices);
+      int V = ensureChoice(Choices.size());
+      Choices.push_back(V);
+      return M.mkIte(Pos, BddManager::True,
+                     M.mkIte(Neg, BddManager::False, M.varNode(V)));
+    }
+    }
+    return BddManager::False;
+  }
+
+  /// Encoded condition of an Assume/Assert node with choice vars
+  /// quantified out (a condition containing `*` may pass either way).
+  Node condBdd(ProcInfo &PI, const CfgNode &N) {
+    if (!N.Cond)
+      return BddManager::True;
+    std::vector<int> Ch;
+    Node C = encode(PI, N.Cond, Ch);
+    if (N.NegateCond)
+      C = M.mkNot(C);
+    return M.exists(C, Ch);
+  }
+
+  // -- Transfers ----------------------------------------------------------
+  /// The assignment staging relation for targets/exprs:
+  /// AND_i (N_target_i <-> enc(expr_i)), plus the target index list.
+  Node assignRelation(ProcInfo &PI, const std::vector<std::string> &Targets,
+                      const std::vector<const BExpr *> &Exprs,
+                      std::vector<int> &TargetIdx, std::vector<int> &Choices) {
+    Node T = BddManager::True;
+    for (size_t I = 0; I != Targets.size(); ++I) {
+      int VI = PI.VarIndex.at(Targets[I]);
+      TargetIdx.push_back(VI);
+      Node Val = encode(PI, Exprs[I], Choices);
+      T = M.mkAnd(T, M.mkXnor(M.varNode(railVar(PI, VI, RailN)), Val));
+    }
+    return T;
+  }
+
+  /// Return-node staging: bind <retK> pseudo-vars.
+  Node returnRelation(ProcInfo &PI, const BStmt *S,
+                      std::vector<int> &TargetIdx, std::vector<int> &Choices) {
+    Node T = BddManager::True;
+    int RetBase = PI.NumGlobals + PI.NumParams + PI.NumLocals;
+    for (size_t I = 0; I != S->Exprs.size(); ++I) {
+      int VI = RetBase + static_cast<int>(I);
+      TargetIdx.push_back(VI);
+      Node Val = encode(PI, S->Exprs[I], Choices);
+      T = M.mkAnd(T, M.mkXnor(M.varNode(railVar(PI, VI, RailN)), Val));
+    }
+    return T;
+  }
+
+  /// Applies staged updates: S' = rename_{N->C}(exists(ch, C_t)(S & T)).
+  Node applyStaged(ProcInfo &PI, Node S, Node T,
+                   const std::vector<int> &TargetIdx,
+                   const std::vector<int> &Choices) {
+    Node R = M.mkAnd(S, T);
+    std::vector<int> Quant = Choices;
+    for (int VI : TargetIdx)
+      Quant.push_back(railVar(PI, VI, RailC));
+    R = M.exists(R, Quant);
+    std::map<int, int> Ren;
+    for (int VI : TargetIdx)
+      Ren[railVar(PI, VI, RailN)] = railVar(PI, VI, RailC);
+    return M.rename(R, Ren);
+  }
+
+  /// Post-state of executing the operation of \p NodeId on states \p S.
+  /// Call nodes are handled by the worklist, not here.
+  Node post(ProcInfo &PI, int NodeId, Node S) {
+    const CfgNode &N = PI.Cfg->node(NodeId);
+    switch (N.Op) {
+    case NodeOp::Entry:
+    case NodeOp::Exit:
+    case NodeOp::Skip:
+      return S;
+    case NodeOp::Assume:
+    case NodeOp::Assert:
+      return M.mkAnd(S, condBdd(PI, N));
+    case NodeOp::Assign: {
+      std::vector<int> TargetIdx, Choices;
+      Node T = assignRelation(PI, N.Stmt->Targets, N.Stmt->Exprs, TargetIdx,
+                              Choices);
+      return M.mkAnd(applyStaged(PI, S, T, TargetIdx, Choices),
+                     PI.EnforceBdd);
+    }
+    case NodeOp::Return: {
+      std::vector<int> TargetIdx, Choices;
+      Node T = returnRelation(PI, N.Stmt, TargetIdx, Choices);
+      return applyStaged(PI, S, T, TargetIdx, Choices);
+    }
+    case NodeOp::Call:
+      assert(false && "call handled by the worklist");
+      return S;
+    }
+    return S;
+  }
+
+  // -- Call plumbing --------------------------------------------------------
+  /// Binds the callee's SE rail to the caller's current state:
+  /// globals pass through; parameters take the encoded arguments.
+  Node bindIn(ProcInfo &Caller, ProcInfo &Callee, const BStmt *CallS,
+              std::vector<int> &Choices) {
+    Node B = BddManager::True;
+    for (int G = 0; G != Callee.NumGlobals; ++G)
+      B = M.mkAnd(B, M.mkXnor(M.varNode(railVar(Callee, G, RailSE)),
+                              M.varNode(railVar(Caller, G, RailC))));
+    for (int Pm = 0; Pm != Callee.NumParams; ++Pm) {
+      Node Arg = encode(Caller, CallS->Exprs[Pm], Choices);
+      B = M.mkAnd(
+          B, M.mkXnor(
+                 M.varNode(railVar(Callee, Callee.NumGlobals + Pm, RailSE)),
+                 Arg));
+    }
+    return B;
+  }
+
+  /// Binds the caller's N rail to the callee's SC outputs: globals and
+  /// the call's return targets.
+  Node bindOut(ProcInfo &Caller, ProcInfo &Callee, const BStmt *CallS,
+               std::vector<int> &ChangedIdx) {
+    Node B = BddManager::True;
+    for (int G = 0; G != Caller.NumGlobals; ++G) {
+      ChangedIdx.push_back(G);
+      B = M.mkAnd(B, M.mkXnor(M.varNode(railVar(Caller, G, RailN)),
+                              M.varNode(railVar(Callee, G, RailSC))));
+    }
+    int RetBase =
+        Callee.NumGlobals + Callee.NumParams + Callee.NumLocals;
+    for (size_t K = 0; K != CallS->Targets.size(); ++K) {
+      int VI = Caller.VarIndex.at(CallS->Targets[K]);
+      ChangedIdx.push_back(VI);
+      B = M.mkAnd(
+          B,
+          M.mkXnor(M.varNode(railVar(Caller, VI, RailN)),
+                   M.varNode(railVar(
+                       Callee, RetBase + static_cast<int>(K), RailSC))));
+    }
+    return B;
+  }
+
+  std::vector<int> allRailVars(ProcInfo &PI, std::initializer_list<Rail> Rails) {
+    std::vector<int> Out;
+    for (int V = 0; V != PI.numVars(); ++V)
+      for (Rail R : Rails)
+        Out.push_back(railVar(PI, V, R));
+    return Out;
+  }
+
+  /// Identity over globals and parameters (E <-> C), used to seed entry
+  /// path edges.
+  Node identity(ProcInfo &PI) {
+    Node Id = BddManager::True;
+    for (int V = 0; V != PI.NumGlobals + PI.NumParams; ++V)
+      Id = M.mkAnd(Id, M.mkXnor(M.varNode(railVar(PI, V, RailE)),
+                                M.varNode(railVar(PI, V, RailC))));
+    return Id;
+  }
+
+  // -- Propagation -------------------------------------------------------
+  void updatePE(int ProcIdx, int NodeId, Node Add) {
+    ProcInfo &PI = Procs[ProcIdx];
+    Node U = M.mkOr(PI.PE[NodeId], Add);
+    if (U == PI.PE[NodeId])
+      return;
+    PI.PE[NodeId] = U;
+    PI.Log[NodeId].emplace_back(++Rank, U);
+    Worklist.emplace_back(ProcIdx, NodeId);
+    if (Stats)
+      Stats->add("bebop.pe_updates");
+  }
+
+  void seedEntry(int ProcIdx, Node EntryStatesE, int CallerProc,
+                 int CallerNode) {
+    ProcInfo &PI = Procs[ProcIdx];
+    Node NewStates = M.mkAnd(EntryStatesE, M.mkNot(PI.EntrySeen));
+    if (NewStates == BddManager::False)
+      return;
+    PI.EntrySeen = M.mkOr(PI.EntrySeen, NewStates);
+    PI.EntryLog.push_back(
+        {++Rank, NewStates, CallerProc, CallerNode});
+    Node Seed = M.mkAnd(M.mkAnd(NewStates, identity(PI)), PI.EnforceBdd);
+    updatePE(ProcIdx, PI.Cfg->entry(), Seed);
+  }
+
+  void processCall(int ProcIdx, int NodeId) {
+    ProcInfo &Caller = Procs[ProcIdx];
+    const CfgNode &N = Caller.Cfg->node(NodeId);
+    const BStmt *CallS = N.Stmt;
+    int CalleeIdx = ProcIndex.at(CallS->Callee);
+    ProcInfo &Callee = Procs[CalleeIdx];
+    Node S = Caller.PE[NodeId];
+    if (S == BddManager::False)
+      return;
+
+    // 1. Propagate entry states into the callee.
+    {
+      std::vector<int> Choices;
+      Node In = M.mkAnd(S, bindIn(Caller, Callee, CallS, Choices));
+      std::vector<int> Quant = allRailVars(Caller, {RailE, RailC});
+      Quant.insert(Quant.end(), Choices.begin(), Choices.end());
+      Node EntrySE = M.exists(In, Quant);
+      std::map<int, int> Ren;
+      for (int V = 0; V != Callee.numVars(); ++V)
+        Ren[railVar(Callee, V, RailSE)] = railVar(Callee, V, RailE);
+      seedEntry(CalleeIdx, M.rename(EntrySE, Ren), ProcIdx, NodeId);
+    }
+
+    // 2. Apply the callee summary, if any.
+    if (Callee.Summary == BddManager::False)
+      return;
+    std::vector<int> Choices;
+    Node In = bindIn(Caller, Callee, CallS, Choices);
+    std::vector<int> ChangedIdx;
+    Node OutBind = bindOut(Caller, Callee, CallS, ChangedIdx);
+    Node Comb =
+        M.mkAnd(M.mkAnd(M.mkAnd(S, In), Callee.Summary), OutBind);
+    std::vector<int> Quant = allRailVars(Callee, {RailSE, RailSC});
+    Quant.insert(Quant.end(), Choices.begin(), Choices.end());
+    for (int VI : ChangedIdx)
+      Quant.push_back(railVar(Caller, VI, RailC));
+    Comb = M.exists(Comb, Quant);
+    std::map<int, int> Ren;
+    for (int VI : ChangedIdx)
+      Ren[railVar(Caller, VI, RailN)] = railVar(Caller, VI, RailC);
+    Node Out = M.mkAnd(M.rename(Comb, Ren), Caller.EnforceBdd);
+    for (int Succ : N.Succs)
+      updatePE(ProcIdx, Succ, Out);
+  }
+
+  void updateSummary(int ProcIdx) {
+    ProcInfo &PI = Procs[ProcIdx];
+    Node ExitPE = PI.PE[PI.Cfg->exit()];
+    // Project away locals/params on the C rail and locals/rets on E.
+    std::vector<int> Quant;
+    for (int V = PI.NumGlobals;
+         V != PI.NumGlobals + PI.NumParams + PI.NumLocals; ++V)
+      Quant.push_back(railVar(PI, V, RailC));
+    for (int V = PI.NumGlobals + PI.NumParams; V != PI.numVars(); ++V)
+      Quant.push_back(railVar(PI, V, RailE));
+    Node Sum = M.exists(ExitPE, Quant);
+    // Rename E (globals+params) -> SE; C (globals) and C (rets) -> SC.
+    std::map<int, int> Ren;
+    for (int V = 0; V != PI.NumGlobals + PI.NumParams; ++V)
+      Ren[railVar(PI, V, RailE)] = railVar(PI, V, RailSE);
+    for (int V = 0; V != PI.NumGlobals; ++V)
+      Ren[railVar(PI, V, RailC)] = railVar(PI, V, RailSC);
+    int RetBase = PI.NumGlobals + PI.NumParams + PI.NumLocals;
+    for (int V = RetBase; V != PI.numVars(); ++V)
+      Ren[railVar(PI, V, RailC)] = railVar(PI, V, RailSC);
+    Sum = M.rename(Sum, Ren);
+
+    Node U = M.mkOr(PI.Summary, Sum);
+    if (U == PI.Summary)
+      return;
+    PI.Summary = U;
+    PI.SummaryLog.emplace_back(++Rank, U);
+    auto It = CallSites.find(ProcIdx);
+    if (It != CallSites.end())
+      for (const auto &[CP, CN] : It->second)
+        Worklist.emplace_back(CP, CN);
+    if (Stats)
+      Stats->add("bebop.summary_updates");
+  }
+
+  void checkAssert(int ProcIdx, int NodeId) {
+    if (Failed)
+      return;
+    ProcInfo &PI = Procs[ProcIdx];
+    const CfgNode &N = PI.Cfg->node(NodeId);
+    std::vector<int> Ch;
+    Node C = N.Cond ? encode(PI, N.Cond, Ch) : BddManager::True;
+    Node Bad = M.exists(M.mkNot(C), Ch);
+    Node Fail = M.mkAnd(PI.PE[NodeId], Bad);
+    if (Fail == BddManager::False)
+      return;
+    Failed = true;
+    FailProc = ProcIdx;
+    FailNode = NodeId;
+    FailStates = Fail;
+  }
+
+  // -- Main loop ------------------------------------------------------------
+  void run(const std::string &EntryProc, bool StopAtFirstViolation) {
+    auto It = ProcIndex.find(EntryProc);
+    assert(It != ProcIndex.end() && "unknown entry procedure");
+    seedEntry(It->second, BddManager::True, -1, -1);
+
+    while (!Worklist.empty()) {
+      if (Failed && StopAtFirstViolation)
+        break;
+      auto [ProcIdx, NodeId] = Worklist.front();
+      Worklist.pop_front();
+      ProcInfo &PI = Procs[ProcIdx];
+      const CfgNode &N = PI.Cfg->node(NodeId);
+      if (Stats)
+        Stats->add("bebop.steps");
+
+      if (N.Op == NodeOp::Call) {
+        processCall(ProcIdx, NodeId);
+        continue;
+      }
+      if (N.Op == NodeOp::Assert)
+        checkAssert(ProcIdx, NodeId);
+      if (N.Op == NodeOp::Exit) {
+        updateSummary(ProcIdx);
+        continue;
+      }
+      Node Out = post(PI, NodeId, PI.PE[NodeId]);
+      for (int Succ : N.Succs)
+        updatePE(ProcIdx, Succ, Out);
+    }
+  }
+
+  // -- Trace reconstruction -------------------------------------------------
+  /// PE of (Proc, Node) strictly before \p RankBound; False if none.
+  Node peBefore(int ProcIdx, int NodeId, uint64_t RankBound,
+                uint64_t *FoundRank = nullptr) {
+    const auto &Log = Procs[ProcIdx].Log[NodeId];
+    Node Best = BddManager::False;
+    uint64_t BestRank = 0;
+    for (const auto &[R, Cum] : Log) {
+      if (R >= RankBound)
+        break;
+      Best = Cum;
+      BestRank = R;
+    }
+    if (FoundRank)
+      *FoundRank = BestRank;
+    return Best;
+  }
+
+  /// Earliest rank at which (Proc,Node)'s PE intersects \p X (< Bound);
+  /// 0 if never.
+  uint64_t earliestRank(int ProcIdx, int NodeId, Node X, uint64_t Bound) {
+    for (const auto &[R, Cum] : Procs[ProcIdx].Log[NodeId]) {
+      if (R >= Bound)
+        break;
+      if (M.mkAnd(Cum, X) != BddManager::False)
+        return R;
+    }
+    return 0;
+  }
+
+  Node summaryBefore(int ProcIdx, uint64_t RankBound) {
+    Node Best = BddManager::False;
+    for (const auto &[R, Sum] : Procs[ProcIdx].SummaryLog) {
+      if (R >= RankBound)
+        break;
+      Best = Sum;
+    }
+    return Best;
+  }
+
+  /// Pre-image of X under the operation of node m (m not a Call).
+  Node preOp(ProcInfo &PI, int NodeId, Node X, uint64_t RankBound) {
+    const CfgNode &N = PI.Cfg->node(NodeId);
+    switch (N.Op) {
+    case NodeOp::Entry:
+    case NodeOp::Exit:
+    case NodeOp::Skip:
+      return X;
+    case NodeOp::Assume:
+    case NodeOp::Assert:
+      return M.mkAnd(X, condBdd(PI, N));
+    case NodeOp::Assign:
+    case NodeOp::Return: {
+      std::vector<int> TargetIdx, Choices;
+      Node T = N.Op == NodeOp::Assign
+                   ? assignRelation(PI, N.Stmt->Targets, N.Stmt->Exprs,
+                                    TargetIdx, Choices)
+                   : returnRelation(PI, N.Stmt, TargetIdx, Choices);
+      std::map<int, int> Ren;
+      for (int VI : TargetIdx)
+        Ren[railVar(PI, VI, RailC)] = railVar(PI, VI, RailN);
+      Node XN = M.rename(X, Ren);
+      std::vector<int> Quant = Choices;
+      for (int VI : TargetIdx)
+        Quant.push_back(railVar(PI, VI, RailN));
+      return M.exists(M.mkAnd(T, XN), Quant);
+    }
+    case NodeOp::Call: {
+      ProcInfo &Callee = Procs[ProcIndex.at(N.Stmt->Callee)];
+      std::vector<int> Choices;
+      Node In = bindIn(PI, Callee, N.Stmt, Choices);
+      std::vector<int> ChangedIdx;
+      Node OutBind = bindOut(PI, Callee, N.Stmt, ChangedIdx);
+      Node Sum = summaryBefore(ProcIndex.at(N.Stmt->Callee), RankBound);
+      std::map<int, int> Ren;
+      for (int VI : ChangedIdx)
+        Ren[railVar(PI, VI, RailC)] = railVar(PI, VI, RailN);
+      Node XN = M.rename(X, Ren);
+      Node Comb = M.mkAnd(M.mkAnd(M.mkAnd(In, Sum), OutBind), XN);
+      std::vector<int> Quant = allRailVars(Callee, {RailSE, RailSC});
+      Quant.insert(Quant.end(), Choices.begin(), Choices.end());
+      for (int VI : ChangedIdx)
+        Quant.push_back(railVar(PI, VI, RailN));
+      return M.exists(Comb, Quant);
+    }
+    }
+    return X;
+  }
+
+  void pushStep(std::vector<TraceStep> &Steps, int ProcIdx, int NodeId) {
+    const CfgNode &N = Procs[ProcIdx].Cfg->node(NodeId);
+    // Skips are kept when they originate from a real C statement (the
+    // abstraction may have erased its effect on the predicates, but
+    // Newton's concrete replay still needs it).
+    if (N.Op == NodeOp::Skip) {
+      if (!N.Stmt || N.Stmt->OriginId < 0)
+        return;
+      TraceStep S;
+      S.ProcName = Procs[ProcIdx].Proc->Name;
+      S.Stmt = N.Stmt;
+      S.Op = N.Op;
+      S.OriginId = N.Stmt->OriginId;
+      Steps.push_back(std::move(S));
+      return;
+    }
+    switch (N.Op) {
+    case NodeOp::Assign:
+    case NodeOp::Call:
+    case NodeOp::Assume:
+    case NodeOp::Assert:
+    case NodeOp::Return: {
+      TraceStep S;
+      S.ProcName = Procs[ProcIdx].Proc->Name;
+      S.Stmt = N.Stmt;
+      S.Op = N.Op;
+      S.OriginId = N.Stmt ? N.Stmt->OriginId : -1;
+      Steps.push_back(std::move(S));
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  /// Builds the statement path from \p ProcIdx's entry to \p NodeId
+  /// ending in states X (over (E, C)), using only facts established
+  /// before \p RankBound. Returns the steps in execution order and the
+  /// entry states actually used (over the E rail, context half).
+  struct ProcTrace {
+    std::vector<TraceStep> Steps;
+    Node EntryStates; // Over E rail.
+    uint64_t EntryRank;
+  };
+
+  ProcTrace traceWithin(int ProcIdx, int NodeId, Node X,
+                        uint64_t RankBound) {
+    ProcInfo &PI = Procs[ProcIdx];
+    std::vector<TraceStep> Rev; // Built backwards.
+    int Cur = NodeId;
+    Node CurX = X;
+    uint64_t Bound = RankBound;
+
+    for (;;) {
+      uint64_t R0 = earliestRank(ProcIdx, Cur, CurX, Bound);
+      assert(R0 != 0 && "trace target not reachable under bound");
+      CurX = M.mkAnd(CurX, peBefore(ProcIdx, Cur, R0 + 1));
+      if (PI.Cfg->node(Cur).Op == NodeOp::Entry) {
+        ProcTrace Out;
+        std::reverse(Rev.begin(), Rev.end());
+        Out.Steps = std::move(Rev);
+        // Context half of the path edge.
+        Out.EntryStates = M.exists(CurX, allRailVars(PI, {RailC}));
+        Out.EntryRank = R0;
+        return Out;
+      }
+
+      // Find the producing predecessor.
+      int BestPred = -1;
+      uint64_t BestRank = 0;
+      Node BestY = BddManager::False;
+      for (int Pred : PI.Cfg->preds()[Cur]) {
+        Node Y = preOp(PI, Pred, CurX, R0);
+        if (Y == BddManager::False)
+          continue;
+        uint64_t R = earliestRank(ProcIdx, Pred, Y, R0);
+        if (R == 0)
+          continue;
+        if (BestPred < 0 || R < BestRank) {
+          BestPred = Pred;
+          BestRank = R;
+          BestY = M.mkAnd(Y, peBefore(ProcIdx, Pred, R + 1));
+        }
+      }
+      assert(BestPred >= 0 && "no producing predecessor found");
+
+      const CfgNode &PredNode = PI.Cfg->node(BestPred);
+      if (PredNode.Op == NodeOp::Call) {
+        // Splice the callee's internal path between the call and here.
+        int CalleeIdx = ProcIndex.at(PredNode.Stmt->Callee);
+        ProcInfo &Callee = Procs[CalleeIdx];
+        // Callee exit states consistent with (BestY -> CurX).
+        std::vector<int> Choices;
+        Node In = bindIn(PI, Callee, PredNode.Stmt, Choices);
+        std::vector<int> ChangedIdx;
+        Node OutBind = bindOut(PI, Callee, PredNode.Stmt, ChangedIdx);
+        std::map<int, int> Ren;
+        for (int VI : ChangedIdx)
+          Ren[railVar(PI, VI, RailC)] = railVar(PI, VI, RailN);
+        Node XN = M.rename(CurX, Ren);
+        Node W = M.mkAnd(M.mkAnd(M.mkAnd(BestY, In), OutBind), XN);
+        std::vector<int> Quant = allRailVars(PI, {RailE, RailC});
+        for (int VI : ChangedIdx)
+          Quant.push_back(railVar(PI, VI, RailN));
+        Quant.insert(Quant.end(), Choices.begin(), Choices.end());
+        Node Z = M.exists(W, Quant); // Over callee (SE, SC).
+        std::map<int, int> Back;
+        for (int V = 0; V != Callee.numVars(); ++V) {
+          Back[railVar(Callee, V, RailSE)] = railVar(Callee, V, RailE);
+          Back[railVar(Callee, V, RailSC)] = railVar(Callee, V, RailC);
+        }
+        Z = M.rename(Z, Back);
+        Node ExitTarget =
+            M.mkAnd(Z, peBefore(CalleeIdx, Callee.Cfg->exit(), R0));
+        if (ExitTarget != BddManager::False) {
+          ProcTrace Sub = traceWithin(CalleeIdx, Callee.Cfg->exit(),
+                                      ExitTarget, R0);
+          for (auto It = Sub.Steps.rbegin(); It != Sub.Steps.rend(); ++It)
+            Rev.push_back(*It);
+        }
+      }
+      pushStep(Rev, ProcIdx, BestPred);
+      Cur = BestPred;
+      CurX = BestY;
+      Bound = R0;
+    }
+  }
+
+  /// Full interprocedural trace ending at the failing node.
+  std::vector<TraceStep> buildTrace() {
+    std::vector<TraceStep> Steps;
+    int ProcIdx = FailProc;
+    int NodeId = FailNode;
+    Node X = FailStates;
+    uint64_t Bound = Rank + 1;
+
+    // The failing assert itself.
+    pushStep(Steps, ProcIdx, NodeId);
+    std::vector<TraceStep> Tail = std::move(Steps);
+
+    for (;;) {
+      ProcTrace T = traceWithin(ProcIdx, NodeId, X, Bound);
+      std::vector<TraceStep> Combined = std::move(T.Steps);
+      Combined.insert(Combined.end(), Tail.begin(), Tail.end());
+      Tail = std::move(Combined);
+
+      // Ascend to the caller that seeded these entry states.
+      ProcInfo &PI = Procs[ProcIdx];
+      const ProcInfo::EntryRec *Rec = nullptr;
+      for (const auto &E : PI.EntryLog) {
+        if (E.Rank > T.EntryRank)
+          break;
+        if (M.mkAnd(E.States, T.EntryStates) != BddManager::False)
+          Rec = &E;
+        if (Rec && E.Rank == T.EntryRank)
+          break;
+      }
+      if (!Rec || Rec->CallerProc < 0)
+        return Tail; // Entry procedure reached.
+
+      // Caller states at the call node consistent with the entry states.
+      ProcInfo &Caller = Procs[Rec->CallerProc];
+      const CfgNode &CallN = Caller.Cfg->node(Rec->CallerNode);
+      ProcInfo &Callee = PI;
+      std::vector<int> Choices;
+      Node In = bindIn(Caller, Callee, CallN.Stmt, Choices);
+      std::map<int, int> Ren;
+      for (int V = 0; V != Callee.numVars(); ++V)
+        Ren[railVar(Callee, V, RailE)] = railVar(Callee, V, RailSE);
+      Node EntrySE = M.rename(M.mkAnd(T.EntryStates, Rec->States), Ren);
+      Node W = M.mkAnd(In, EntrySE);
+      std::vector<int> Quant = allRailVars(Callee, {RailSE});
+      Quant.insert(Quant.end(), Choices.begin(), Choices.end());
+      Node CallerX = M.exists(W, Quant);
+      CallerX = M.mkAnd(
+          CallerX, peBefore(Rec->CallerProc, Rec->CallerNode, Rec->Rank));
+
+      // The call statement itself precedes the callee's steps.
+      std::vector<TraceStep> CallStep;
+      pushStep(CallStep, Rec->CallerProc, Rec->CallerNode);
+      CallStep.insert(CallStep.end(), Tail.begin(), Tail.end());
+      Tail = std::move(CallStep);
+
+      ProcIdx = Rec->CallerProc;
+      NodeId = Rec->CallerNode;
+      X = CallerX;
+      Bound = Rec->Rank;
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Public interface
+//===----------------------------------------------------------------------===//
+
+Bebop::Bebop(const BProgram &P, StatsRegistry *Stats)
+    : M(std::make_unique<Impl>(P, Stats)) {}
+
+Bebop::~Bebop() = default;
+
+CheckResult Bebop::run(const std::string &EntryProc,
+                       bool StopAtFirstViolation) {
+  M->run(EntryProc, StopAtFirstViolation);
+  CheckResult R;
+  R.AssertViolated = M->Failed;
+  if (M->Failed) {
+    R.FailingProc = M->Procs[M->FailProc].Proc->Name;
+    R.FailingStmt = M->Procs[M->FailProc].Cfg->node(M->FailNode).Stmt;
+    R.Trace = M->buildTrace();
+  }
+  if (M->Stats)
+    M->Stats->set("bebop.bdd_nodes", M->M.numNodes());
+  return R;
+}
+
+size_t Bebop::bddNodes() const { return M->M.numNodes(); }
+
+std::optional<std::vector<std::map<std::string, bool>>>
+Bebop::reachableAtLabel(const std::string &Proc,
+                        const std::string &Label) const {
+  auto It = M->ProcIndex.find(Proc);
+  if (It == M->ProcIndex.end())
+    return std::nullopt;
+  Impl::ProcInfo &PI = M->Procs[It->second];
+  int NodeId = PI.Cfg->nodeOfLabel(Label);
+  if (NodeId < 0)
+    return std::nullopt;
+  // Project the path edge to the current state.
+  Node Reach = M->M.exists(PI.PE[NodeId], M->allRailVars(PI, {RailE}));
+  std::vector<std::map<std::string, bool>> Out;
+  M->M.forEachCube(Reach, [&](const std::map<int, bool> &Cube) {
+    std::map<std::string, bool> Named;
+    for (const auto &[Var, Value] : Cube) {
+      int Idx = (Var - PI.Base) / 5;
+      Named[PI.Vars[Idx]] = Value;
+    }
+    Out.push_back(std::move(Named));
+  });
+  return Out;
+}
+
+bool Bebop::labelReachable(const std::string &Proc,
+                           const std::string &Label) const {
+  auto Cubes = reachableAtLabel(Proc, Label);
+  return Cubes && !Cubes->empty();
+}
+
+std::string Bebop::invariantAtLabel(const std::string &Proc,
+                                    const std::string &Label) const {
+  auto Cubes = reachableAtLabel(Proc, Label);
+  if (!Cubes)
+    return "<unknown label>";
+  if (Cubes->empty())
+    return "false";
+  std::string Out;
+  bool FirstCube = true;
+  for (const auto &Cube : *Cubes) {
+    if (!FirstCube)
+      Out += " || ";
+    FirstCube = false;
+    if (Cube.empty()) {
+      Out += "true";
+      continue;
+    }
+    bool Paren = Cubes->size() > 1 && Cube.size() > 1;
+    if (Paren)
+      Out += '(';
+    bool First = true;
+    for (const auto &[Name, Value] : Cube) {
+      if (!First)
+        Out += " && ";
+      First = false;
+      std::string Rendered = Name;
+      if (Name.find_first_of(" ()<>=!&|*+-/%[]") != std::string::npos)
+        Rendered = "{" + Name + "}";
+      Out += (Value ? "" : "!") + Rendered;
+    }
+    if (Paren)
+      Out += ')';
+  }
+  return Out;
+}

@@ -1,0 +1,108 @@
+//===- Bebop.h - Interprocedural model checker for boolean programs -*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bebop [5]: computes the set of reachable states for each statement of
+/// a boolean program by interprocedural dataflow analysis in the spirit
+/// of Sharir–Pnueli and Reps–Horwitz–Sagiv [31, 28], with sets of bit
+/// vectors represented as BDDs and control flow kept explicit.
+///
+/// The core object is the *path edge* PE(n) ⊆ Entry × Current for each
+/// CFG node n of each procedure: pairs (state at procedure entry, state
+/// at n). Procedure summaries are PE(exit) projected to the visible
+/// state (globals in/out, parameters in, return values out) and are
+/// applied at call sites, giving precise call/return matching including
+/// recursion. Disjunctive completion is inherent to the BDD union.
+///
+/// Besides reachability, the checker reports assertion failures with a
+/// hierarchical counterexample trace (used by SLAM's Newton step) and
+/// renders per-label invariants as boolean functions over the predicate
+/// variables — the output shown in Section 2.2 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEBOP_BEBOP_H
+#define BEBOP_BEBOP_H
+
+#include "bdd/Bdd.h"
+#include "bebop/Cfg.h"
+#include "bp/BPAst.h"
+#include "support/Stats.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace slam {
+namespace bebop {
+
+/// One step of a counterexample trace: a statement of some procedure.
+struct TraceStep {
+  std::string ProcName;
+  const bp::BStmt *Stmt; ///< May be null for entry/exit steps.
+  NodeOp Op;
+  /// Originating C statement id (from BStmt::OriginId), or -1.
+  int OriginId = -1;
+};
+
+/// Result of a reachability check.
+struct CheckResult {
+  bool AssertViolated = false;
+  /// Failing assert (when violated).
+  std::string FailingProc;
+  const bp::BStmt *FailingStmt = nullptr;
+  /// Interprocedural statement path from the entry procedure to the
+  /// failing assert (inclusive).
+  std::vector<TraceStep> Trace;
+};
+
+/// The model checker. Construct once per boolean program, call run(),
+/// then query invariants / results.
+class Bebop {
+public:
+  explicit Bebop(const bp::BProgram &P, StatsRegistry *Stats = nullptr);
+  ~Bebop();
+
+  /// Runs reachability from \p EntryProc (globals and parameters
+  /// unconstrained). Returns the verdict with a counterexample trace if
+  /// some assert can fail. With \p StopAtFirstViolation (the default),
+  /// propagation halts as soon as a violation is recorded — a
+  /// "Validated" verdict always reflects the complete fixpoint either
+  /// way, but label invariants queried after an early stop may be
+  /// under-approximate.
+  CheckResult run(const std::string &EntryProc = "main",
+                  bool StopAtFirstViolation = true);
+
+  /// The invariant (set of reachable states) at the statement labeled
+  /// \p Label in \p Proc, as a disjunction of cubes over the variables
+  /// in scope. Empty optional if the label is unknown or run() has not
+  /// executed.
+  std::optional<std::vector<std::map<std::string, bool>>>
+  reachableAtLabel(const std::string &Proc, const std::string &Label) const;
+
+  /// Renders reachableAtLabel as the paper prints invariants, e.g.
+  /// "(!{curr == NULL} && {curr->val > v}) || (...)".
+  std::string invariantAtLabel(const std::string &Proc,
+                               const std::string &Label) const;
+
+  /// True if the labeled statement is reachable at all.
+  bool labelReachable(const std::string &Proc,
+                      const std::string &Label) const;
+
+  /// Peak BDD node count (reported in benchmarks).
+  size_t bddNodes() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> M;
+};
+
+} // namespace bebop
+} // namespace slam
+
+#endif // BEBOP_BEBOP_H

@@ -1,0 +1,168 @@
+//===- Cfg.cpp - Lowering boolean procedures to explicit CFGs --------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bebop/Cfg.h"
+
+using namespace slam;
+using namespace slam::bebop;
+using namespace slam::bp;
+
+int ProcCfg::makeNode(NodeOp Op, const BStmt *S, const BExpr *Cond) {
+  CfgNode N;
+  N.Op = Op;
+  N.Stmt = S;
+  N.Cond = Cond;
+  Nodes.push_back(std::move(N));
+  return static_cast<int>(Nodes.size() - 1);
+}
+
+ProcCfg::ProcCfg(const BProc &Proc, DiagnosticEngine &Diags)
+    : Proc(Proc), Diags(Diags) {
+  EntryNode = makeNode(NodeOp::Entry);
+  ExitNode = makeNode(NodeOp::Exit);
+  int Cur = EntryNode;
+  if (Proc.Body)
+    for (const BStmt *S : Proc.Body->Stmts) {
+      // After goto/return/break, later statements are unreachable by
+      // fall-through but may carry labels; anchor them to an orphan
+      // node (which never accumulates states on its own).
+      if (Cur < 0)
+        Cur = makeNode(NodeOp::Skip);
+      Cur = lower(*S, Cur);
+    }
+  if (Cur >= 0)
+    addEdge(Cur, ExitNode); // Fall off the end.
+
+  // Patch gotos.
+  for (const auto &[S, NodeId] : PendingGotos) {
+    for (const std::string &Label : S->Labels) {
+      auto It = LabelNodes.find(Label);
+      if (It == LabelNodes.end()) {
+        Diags.error(SourceLoc(), "goto to undefined label '" + Label + "'");
+        continue;
+      }
+      addEdge(NodeId, It->second);
+    }
+  }
+}
+
+int ProcCfg::lower(const BStmt &S, int Cur) {
+  switch (S.Kind) {
+  case BStmtKind::Block: {
+    for (const BStmt *Sub : S.Stmts) {
+      if (Cur < 0)
+        Cur = makeNode(NodeOp::Skip); // Orphan anchor after a jump.
+      Cur = lower(*Sub, Cur);
+    }
+    return Cur;
+  }
+  case BStmtKind::Skip: {
+    int N = makeNode(NodeOp::Skip, &S);
+    addEdge(Cur, N);
+    return N;
+  }
+  case BStmtKind::Assign: {
+    int N = makeNode(NodeOp::Assign, &S);
+    addEdge(Cur, N);
+    return N;
+  }
+  case BStmtKind::Call: {
+    int N = makeNode(NodeOp::Call, &S);
+    addEdge(Cur, N);
+    return N;
+  }
+  case BStmtKind::Assume: {
+    int N = makeNode(NodeOp::Assume, &S, S.Cond);
+    addEdge(Cur, N);
+    return N;
+  }
+  case BStmtKind::Assert: {
+    int N = makeNode(NodeOp::Assert, &S, S.Cond);
+    addEdge(Cur, N);
+    return N;
+  }
+  case BStmtKind::If: {
+    int TrueSide = makeNode(NodeOp::Assume, &S, S.Cond);
+    int FalseSide = makeNode(NodeOp::Assume, &S, S.Cond);
+    Nodes[FalseSide].NegateCond = true;
+    addEdge(Cur, TrueSide);
+    addEdge(Cur, FalseSide);
+    int ThenEnd = lower(*S.Then, TrueSide);
+    int ElseEnd = S.Else ? lower(*S.Else, FalseSide) : FalseSide;
+    int Join = makeNode(NodeOp::Skip, &S);
+    if (ThenEnd >= 0)
+      addEdge(ThenEnd, Join);
+    if (ElseEnd >= 0)
+      addEdge(ElseEnd, Join);
+    return Join;
+  }
+  case BStmtKind::While: {
+    int Header = makeNode(NodeOp::Skip, &S);
+    addEdge(Cur, Header);
+    int EnterBody = makeNode(NodeOp::Assume, &S, S.Cond);
+    int LeaveLoop = makeNode(NodeOp::Assume, &S, S.Cond);
+    Nodes[LeaveLoop].NegateCond = true;
+    addEdge(Header, EnterBody);
+    addEdge(Header, LeaveLoop);
+    int After = makeNode(NodeOp::Skip, &S);
+    addEdge(LeaveLoop, After);
+    BreakTargets.push_back(After);
+    ContinueTargets.push_back(Header);
+    int BodyEnd = lower(*S.Body, EnterBody);
+    if (BodyEnd >= 0)
+      addEdge(BodyEnd, Header);
+    BreakTargets.pop_back();
+    ContinueTargets.pop_back();
+    return After;
+  }
+  case BStmtKind::Goto: {
+    int N = makeNode(NodeOp::Skip, &S);
+    addEdge(Cur, N);
+    PendingGotos.emplace_back(&S, N);
+    return -1;
+  }
+  case BStmtKind::Label: {
+    int N = makeNode(NodeOp::Skip, &S);
+    addEdge(Cur, N);
+    LabelNodes[S.LabelName] = N;
+    return lower(*S.Sub, N);
+  }
+  case BStmtKind::Return: {
+    int N = makeNode(NodeOp::Return, &S);
+    addEdge(Cur, N);
+    addEdge(N, ExitNode);
+    return -1;
+  }
+  case BStmtKind::Break: {
+    int N = makeNode(NodeOp::Skip, &S);
+    addEdge(Cur, N);
+    addEdge(N, BreakTargets.back());
+    return -1;
+  }
+  case BStmtKind::Continue: {
+    int N = makeNode(NodeOp::Skip, &S);
+    addEdge(Cur, N);
+    addEdge(N, ContinueTargets.back());
+    return -1;
+  }
+  }
+  return Cur;
+}
+
+int ProcCfg::nodeOfLabel(const std::string &Label) const {
+  auto It = LabelNodes.find(Label);
+  return It == LabelNodes.end() ? -1 : It->second;
+}
+
+const std::vector<std::vector<int>> &ProcCfg::preds() const {
+  if (Preds.empty()) {
+    Preds.resize(Nodes.size());
+    for (int N = 0; N != numNodes(); ++N)
+      for (int S : Nodes[N].Succs)
+        Preds[S].push_back(N);
+  }
+  return Preds;
+}

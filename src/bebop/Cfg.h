@@ -1,0 +1,98 @@
+//===- Cfg.h - Control-flow graphs for boolean programs ---------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Explicit control-flow graph per boolean procedure — Bebop represents
+/// control explicitly (like a compiler) and only the data portion of the
+/// state symbolically [5]. Structured statements lower to edges:
+/// `if (e)` becomes a fork through assume(e) / assume(!e) nodes (a `*`
+/// condition leaves both assumes trivially true), `while` likewise with
+/// a back edge, and `goto L1, L2` becomes a nondeterministic fork.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEBOP_CFG_H
+#define BEBOP_CFG_H
+
+#include "bp/BPAst.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace slam {
+namespace bebop {
+
+/// Operation performed by one CFG node.
+enum class NodeOp {
+  Entry,
+  Exit,   ///< Shared procedure exit; Return nodes feed into it.
+  Skip,
+  Assign,
+  Call,
+  Assume, ///< Cond holds (from `assume` or a lowered branch).
+  Assert,
+  Return, ///< Carries the return expressions.
+};
+
+struct CfgNode {
+  NodeOp Op;
+  /// Originating statement (null for Entry/Exit and synthesized
+  /// assumes, which instead reference the branch statement).
+  const bp::BStmt *Stmt = nullptr;
+  /// Condition for Assume/Assert; null means `true`.
+  const bp::BExpr *Cond = nullptr;
+  /// Assume nodes lowered from the false side of a branch evaluate the
+  /// negation of Cond.
+  bool NegateCond = false;
+  std::vector<int> Succs;
+};
+
+/// CFG of one boolean procedure.
+class ProcCfg {
+public:
+  /// Builds the graph; label resolution errors go to \p Diags (the
+  /// program should already have passed verifyBProgram).
+  ProcCfg(const bp::BProc &Proc, DiagnosticEngine &Diags);
+
+  const bp::BProc &proc() const { return Proc; }
+  int entry() const { return EntryNode; }
+  int exit() const { return ExitNode; }
+  int numNodes() const { return static_cast<int>(Nodes.size()); }
+  const CfgNode &node(int Id) const { return Nodes[Id]; }
+
+  /// Node of the statement labeled \p Label, or -1.
+  int nodeOfLabel(const std::string &Label) const;
+
+  /// Predecessor lists (computed once on demand).
+  const std::vector<std::vector<int>> &preds() const;
+
+private:
+  int makeNode(NodeOp Op, const bp::BStmt *S = nullptr,
+               const bp::BExpr *Cond = nullptr);
+  void addEdge(int From, int To) { Nodes[From].Succs.push_back(To); }
+  /// Lowers \p S; control flows from \p Cur into the lowered nodes and
+  /// the function returns the node control leaves from (-1 if control
+  /// never falls through, e.g. after goto/return).
+  int lower(const bp::BStmt &S, int Cur);
+
+  const bp::BProc &Proc;
+  DiagnosticEngine &Diags;
+  std::vector<CfgNode> Nodes;
+  int EntryNode = -1;
+  int ExitNode = -1;
+  std::map<std::string, int> LabelNodes;
+  std::vector<std::pair<const bp::BStmt *, int>> PendingGotos;
+  std::vector<int> BreakTargets;    // Stack of loop-exit join nodes.
+  std::vector<int> ContinueTargets; // Stack of loop-header nodes.
+  mutable std::vector<std::vector<int>> Preds;
+};
+
+} // namespace bebop
+} // namespace slam
+
+#endif // BEBOP_CFG_H

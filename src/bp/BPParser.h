@@ -1,0 +1,38 @@
+//===- BPParser.h - Boolean program parser ----------------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser and well-formedness checker for the boolean program language,
+/// so Bebop runs standalone on .bp files (as the original tool did) and
+/// printed programs round-trip in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BP_BPPARSER_H
+#define BP_BPPARSER_H
+
+#include "bp/BPAst.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string_view>
+
+namespace slam {
+namespace bp {
+
+/// Parses concrete syntax into a BProgram; nullptr on error.
+std::unique_ptr<BProgram> parseBProgram(std::string_view Source,
+                                        DiagnosticEngine &Diags);
+
+/// Checks well-formedness: variables declared, labels defined and
+/// unique per procedure, call/return arities consistent, break/continue
+/// inside loops. Returns false with diagnostics on violations.
+bool verifyBProgram(const BProgram &P, DiagnosticEngine &Diags);
+
+} // namespace bp
+} // namespace slam
+
+#endif // BP_BPPARSER_H

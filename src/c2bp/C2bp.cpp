@@ -1,0 +1,530 @@
+//===- C2bp.cpp - Statement-by-statement abstraction -------------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c2bp/C2bp.h"
+
+#include "alias/ModRef.h"
+#include "alias/Oracle.h"
+#include "c2bp/CExprToLogic.h"
+#include "c2bp/Signatures.h"
+#include "logic/ExprUtils.h"
+#include "logic/WP.h"
+
+#include <algorithm>
+
+using namespace slam;
+using namespace slam::c2bp;
+using namespace slam::cfront;
+using logic::ExprRef;
+
+namespace {
+
+/// Does a loop body contain a break/continue belonging to this loop?
+bool hasLoopExits(const Stmt &S) {
+  switch (S.Kind) {
+  case CStmtKind::Break:
+  case CStmtKind::Continue:
+    return true;
+  case CStmtKind::While:
+    return false; // Inner loops own their breaks.
+  case CStmtKind::Goto:
+    return true; // A goto may leave the loop; use the robust form.
+  default:
+    break;
+  }
+  for (const Stmt *Sub : {S.Then, S.Else, S.Body, S.Sub})
+    if (Sub && hasLoopExits(*Sub))
+      return true;
+  for (const Stmt *Sub : S.Stmts)
+    if (hasLoopExits(*Sub))
+      return true;
+  return false;
+}
+
+} // namespace
+
+struct C2bpTool::Impl {
+  const Program &P;
+  const PredicateSet &Preds;
+  logic::LogicContext &Ctx;
+  C2bpOptions Options;
+  StatsRegistry *Stats;
+
+  prover::Prover Prover;
+  std::unique_ptr<alias::PointsTo> PT;
+  std::unique_ptr<alias::ModRef> MR;
+  std::map<const FuncDecl *, ProcSignature> Signatures;
+
+  // Per-procedure state while abstracting.
+  std::unique_ptr<bp::BProgram> BP;
+  bp::BProc *CurProc = nullptr;
+  const FuncDecl *CurFunc = nullptr;
+  std::unique_ptr<logic::AliasOracle> Oracle;
+  /// Non-null only when the points-to-backed oracle is active.
+  alias::ProgramAliasOracle *ProgOracle = nullptr;
+  std::unique_ptr<logic::WPEngine> WP;
+  std::unique_ptr<CubeSearch> Cubes;
+  /// Predicates in scope: parallel vectors of formula and bp var name.
+  std::vector<ExprRef> ScopePreds;
+  std::vector<std::string> ScopeNames;
+
+  Impl(const Program &P, const PredicateSet &Preds,
+       logic::LogicContext &Ctx, C2bpOptions Options, StatsRegistry *Stats)
+      : P(P), Preds(Preds), Ctx(Ctx), Options(Options), Stats(Stats),
+        Prover(Ctx, Stats) {
+    PT = std::make_unique<alias::PointsTo>(P, Options.AliasMode);
+    MR = std::make_unique<alias::ModRef>(P, *PT);
+    for (const FuncDecl *F : P.Functions)
+      Signatures.emplace(F, computeSignature(Ctx, P, *F,
+                                             Preds.forProc(F->Name), *PT,
+                                             *MR));
+  }
+
+  static std::string predName(ExprRef E) { return E->str(); }
+
+  // -- Scope management ------------------------------------------------------
+  void enterFunction(const FuncDecl &F) {
+    CurFunc = &F;
+    if (Options.UseAliasAnalysis) {
+      auto PO = std::make_unique<alias::ProgramAliasOracle>(*PT, P, &F);
+      ProgOracle = PO.get();
+      Oracle = std::move(PO);
+    } else {
+      ProgOracle = nullptr;
+      Oracle = std::make_unique<logic::ShapeAliasOracle>();
+    }
+    WP = std::make_unique<logic::WPEngine>(Ctx, *Oracle);
+    Cubes = std::make_unique<CubeSearch>(Ctx, Prover, *Oracle,
+                                         Options.Cubes, Stats);
+    ScopePreds.clear();
+    ScopeNames.clear();
+    for (ExprRef E : Preds.Globals) {
+      ScopePreds.push_back(E);
+      ScopeNames.push_back(predName(E));
+    }
+    for (ExprRef E : Preds.forProc(F.Name)) {
+      ScopePreds.push_back(E);
+      ScopeNames.push_back(predName(E));
+    }
+  }
+
+  // -- DNF to boolean-program expressions -----------------------------------
+  const bp::BExpr *dnfToBExpr(const Dnf &D) {
+    if (D.empty())
+      return BP->constant(false);
+    const bp::BExpr *Or = nullptr;
+    for (const Cube &C : D) {
+      const bp::BExpr *And = nullptr;
+      for (const CubeLit &L : C) {
+        const bp::BExpr *Lit = BP->varRef(ScopeNames[L.Var]);
+        if (!L.Positive)
+          Lit = BP->notE(Lit);
+        And = And ? BP->andE(And, Lit) : Lit;
+      }
+      if (!And)
+        And = BP->constant(true);
+      Or = Or ? BP->orE(Or, And) : And;
+    }
+    return Or;
+  }
+
+  /// choose(F(Phi), F(!Phi)) with the pretty special case
+  /// choose(b, !b) == b (used all over Figure 1).
+  const bp::BExpr *chooseExpr(ExprRef Phi) {
+    if (logic::containsNullDeref(Phi))
+      return BP->star();
+    Dnf Pos = Cubes->findF(ScopePreds, Phi);
+    Dnf Neg = Cubes->findF(ScopePreds, Ctx.notE(Phi));
+    if (Pos.size() == 1 && Neg.size() == 1 && Pos[0].size() == 1 &&
+        Neg[0].size() == 1 && Pos[0][0].Var == Neg[0][0].Var &&
+        Pos[0][0].Positive != Neg[0][0].Positive) {
+      const bp::BExpr *B = BP->varRef(ScopeNames[Pos[0][0].Var]);
+      return Pos[0][0].Positive ? B : BP->notE(B);
+    }
+    return BP->choose(dnfToBExpr(Pos), dnfToBExpr(Neg));
+  }
+
+  /// G(Phi) = !E(F(!Phi)) — the strongest expressible consequence.
+  const bp::BExpr *weakenG(ExprRef Phi) {
+    Dnf D = Cubes->findF(ScopePreds, Ctx.notE(Phi));
+    return BP->notE(dnfToBExpr(D));
+  }
+
+  // -- Statement translation ---------------------------------------------
+  bp::BStmt *stmt(bp::BStmtKind K, const Stmt &Origin) {
+    bp::BStmt *S = BP->makeStmt(K);
+    S->OriginId = static_cast<int>(Origin.Id);
+    return S;
+  }
+
+  bp::BStmt *makeAssume(const bp::BExpr *Cond, const Stmt &Origin,
+                        int BranchTaken) {
+    bp::BStmt *S = stmt(bp::BStmtKind::Assume, Origin);
+    S->Cond = Cond;
+    S->BranchTaken = BranchTaken;
+    return S;
+  }
+
+  bp::BStmt *abstractStmt(const Stmt &S) {
+    switch (S.Kind) {
+    case CStmtKind::Block: {
+      bp::BStmt *B = stmt(bp::BStmtKind::Block, S);
+      for (const Stmt *Sub : S.Stmts)
+        B->Stmts.push_back(abstractStmt(*Sub));
+      return B;
+    }
+    case CStmtKind::Assign:
+      return abstractAssign(S);
+    case CStmtKind::CallStmt:
+      return abstractCall(S);
+    case CStmtKind::If: {
+      bp::BStmt *B = stmt(bp::BStmtKind::If, S);
+      B->Cond = BP->star();
+      ExprRef C = conditionToLogic(Ctx, *S.Cond);
+
+      // The assumes are emitted even when G is `true`: they carry the
+      // branch direction that Newton replays concretely.
+      bp::BStmt *Then = BP->makeStmt(bp::BStmtKind::Block);
+      Then->Stmts.push_back(makeAssume(weakenG(C), S, 1));
+      Then->Stmts.push_back(abstractStmt(*S.Then));
+      B->Then = Then;
+
+      bp::BStmt *Else = BP->makeStmt(bp::BStmtKind::Block);
+      Else->Stmts.push_back(makeAssume(weakenG(Ctx.notE(C)), S, 0));
+      if (S.Else)
+        Else->Stmts.push_back(abstractStmt(*S.Else));
+      B->Else = Else;
+      return B;
+    }
+    case CStmtKind::While: {
+      ExprRef C = conditionToLogic(Ctx, *S.Cond);
+      bp::BStmt *W = stmt(bp::BStmtKind::While, S);
+      W->Cond = BP->star();
+      bp::BStmt *Body = BP->makeStmt(bp::BStmtKind::Block);
+
+      if (hasLoopExits(*S.Body)) {
+        // Robust form: breaks/gotos may leave the loop without the
+        // condition turning false, so the exit test moves inside the
+        // loop and the loop itself never falls out at the top (the
+        // only exits are the modeled one, which assumes G(!c), and the
+        // translated break/goto statements themselves).
+        W->Cond = BP->constant(true);
+        bp::BStmt *ExitIf = stmt(bp::BStmtKind::If, S);
+        ExitIf->Cond = BP->star();
+        bp::BStmt *ExitBlk = BP->makeStmt(bp::BStmtKind::Block);
+        ExitBlk->Stmts.push_back(makeAssume(weakenG(Ctx.notE(C)), S, 0));
+        ExitBlk->Stmts.push_back(stmt(bp::BStmtKind::Break, S));
+        ExitIf->Then = ExitBlk;
+        Body->Stmts.push_back(ExitIf);
+        Body->Stmts.push_back(makeAssume(weakenG(C), S, 1));
+        Body->Stmts.push_back(abstractStmt(*S.Body));
+        W->Body = Body;
+        return W;
+      }
+
+      // Figure 1(b) form: while(*) { assume(G(c)); body } assume(G(!c)).
+      Body->Stmts.push_back(makeAssume(weakenG(C), S, 1));
+      Body->Stmts.push_back(abstractStmt(*S.Body));
+      W->Body = Body;
+      bp::BStmt *Wrap = BP->makeStmt(bp::BStmtKind::Block);
+      Wrap->Stmts.push_back(W);
+      Wrap->Stmts.push_back(makeAssume(weakenG(Ctx.notE(C)), S, 0));
+      return Wrap;
+    }
+    case CStmtKind::Goto: {
+      bp::BStmt *G = stmt(bp::BStmtKind::Goto, S);
+      G->Labels.push_back(S.LabelName);
+      return G;
+    }
+    case CStmtKind::Label: {
+      bp::BStmt *L = stmt(bp::BStmtKind::Label, S);
+      L->LabelName = S.LabelName;
+      L->Sub = abstractStmt(*S.Sub);
+      return L;
+    }
+    case CStmtKind::Return: {
+      bp::BStmt *R = stmt(bp::BStmtKind::Return, S);
+      const ProcSignature &Sig = Signatures.at(CurFunc);
+      for (ExprRef E : Sig.Returns)
+        R->Exprs.push_back(BP->varRef(predName(E)));
+      return R;
+    }
+    case CStmtKind::Assert: {
+      // The abstract assert must fail whenever the abstraction cannot
+      // *prove* the condition: use the strengthening F(c) (states
+      // satisfying it provably satisfy c; anything else is a potential
+      // violation for Newton to examine). Using the weakening G(c)
+      // here would mask real bugs.
+      bp::BStmt *A = stmt(bp::BStmtKind::Assert, S);
+      A->Cond = dnfToBExpr(
+          Cubes->findF(ScopePreds, conditionToLogic(Ctx, *S.Cond)));
+      return A;
+    }
+    case CStmtKind::Break:
+      return stmt(bp::BStmtKind::Break, S);
+    case CStmtKind::Continue:
+      return stmt(bp::BStmtKind::Continue, S);
+    case CStmtKind::Skip:
+      return stmt(bp::BStmtKind::Skip, S);
+    }
+    return stmt(bp::BStmtKind::Skip, S);
+  }
+
+  bp::BStmt *abstractAssign(const Stmt &S) {
+    ExprRef Lhs = toLogic(Ctx, *S.Lhs);
+    ExprRef Rhs = toLogic(Ctx, *S.Rhs);
+    std::vector<std::string> Targets;
+    std::vector<const bp::BExpr *> Values;
+    for (size_t I = 0; I != ScopePreds.size(); ++I) {
+      ExprRef E = ScopePreds[I];
+      ExprRef WpPos = WP->assignment(Lhs, Rhs, E);
+      if (Options.SkipUnchanged && WpPos == E)
+        continue; // Optimization 2: definitely unaffected.
+      Targets.push_back(ScopeNames[I]);
+      // choose over F(WP(s, e)) / F(WP(s, !e)). A WP that dereferences
+      // NULL is undefined; the predicate is invalidated to unknown.
+      ExprRef WpNeg = WP->assignment(Lhs, Rhs, Ctx.notE(E));
+      Dnf Pos = logic::containsNullDeref(WpPos)
+                    ? Dnf{}
+                    : Cubes->findF(ScopePreds, WpPos);
+      Dnf Neg = logic::containsNullDeref(WpNeg)
+                    ? Dnf{}
+                    : Cubes->findF(ScopePreds, WpNeg);
+      if (Pos.size() == 1 && Neg.size() == 1 && Pos[0].size() == 1 &&
+          Neg[0].size() == 1 && Pos[0][0].Var == Neg[0][0].Var &&
+          Pos[0][0].Positive != Neg[0][0].Positive) {
+        const bp::BExpr *B = BP->varRef(ScopeNames[Pos[0][0].Var]);
+        Values.push_back(Pos[0][0].Positive ? B : BP->notE(B));
+      } else {
+        Values.push_back(BP->choose(dnfToBExpr(Pos), dnfToBExpr(Neg)));
+      }
+    }
+    if (Targets.empty())
+      return stmt(bp::BStmtKind::Skip, S); // Figure 1(b)'s `skip;`.
+    bp::BStmt *A = stmt(bp::BStmtKind::Assign, S);
+    A->Targets = std::move(Targets);
+    A->Exprs = std::move(Values);
+    return A;
+  }
+
+  bp::BStmt *abstractCall(const Stmt &S) {
+    const FuncDecl *Callee = S.CallE->Callee;
+    const ProcSignature &Sig = Signatures.at(Callee);
+
+    // Formal -> actual substitution map (logic terms).
+    std::vector<std::pair<ExprRef, ExprRef>> ActualMap;
+    for (size_t J = 0; J != Callee->Params.size(); ++J)
+      ActualMap.emplace_back(Ctx.var(Callee->Params[J]->Name),
+                             toLogic(Ctx, *S.CallE->Ops[J]));
+
+    // Predicates of the caller that the call may invalidate: those
+    // mentioning the assignment target or any location the callee may
+    // modify (through the mod/ref summary and aliasing).
+    const std::set<int> &Mod = MR->mod(Callee);
+    std::set<int> LhsCells;
+    if (S.Lhs) {
+      for (int C : PT->locationCells(*S.Lhs))
+        LhsCells.insert(C);
+    }
+    size_t NumGlobalPreds = Preds.Globals.size();
+    std::vector<size_t> UpdateIdx; // Indices into ScopePreds (locals only).
+    for (size_t I = NumGlobalPreds; I != ScopePreds.size(); ++I) {
+      bool MayChange = false;
+      for (ExprRef Loc : logic::collectLocations(ScopePreds[I])) {
+        std::optional<std::set<int>> Cells =
+            ProgOracle ? ProgOracle->cellsOf(Loc) : std::nullopt;
+        if (!Cells) {
+          // Unresolvable heap locations are treated conservatively; a
+          // plain variable unknown to the program (an auxiliary
+          // predicate variable) cannot be written by the callee.
+          if (Loc->kind() != logic::ExprKind::Var)
+            MayChange = true;
+          continue;
+        }
+        for (int C : *Cells)
+          if (Mod.count(C) || LhsCells.count(C))
+            MayChange = true;
+      }
+      if (MayChange)
+        UpdateIdx.push_back(I);
+    }
+    // The assignment target's own predicates: any local predicate
+    // mentioning the lhs location syntactically is updated as well.
+    if (S.Lhs) {
+      ExprRef LhsL = toLogic(Ctx, *S.Lhs);
+      for (size_t I = NumGlobalPreds; I != ScopePreds.size(); ++I)
+        if (logic::mentions(ScopePreds[I], LhsL) &&
+            std::find(UpdateIdx.begin(), UpdateIdx.end(), I) ==
+                UpdateIdx.end())
+          UpdateIdx.push_back(I);
+    }
+    std::sort(UpdateIdx.begin(), UpdateIdx.end());
+
+    // Externs have no boolean-program counterpart: havoc the affected
+    // predicates.
+    if (Callee->isExtern()) {
+      if (UpdateIdx.empty())
+        return stmt(bp::BStmtKind::Skip, S);
+      bp::BStmt *A = stmt(bp::BStmtKind::Assign, S);
+      for (size_t I : UpdateIdx) {
+        A->Targets.push_back(ScopeNames[I]);
+        A->Exprs.push_back(BP->star());
+      }
+      return A;
+    }
+
+    // Actual parameters: choose(F(e'), F(!e')) per formal predicate.
+    bp::BStmt *CallB = stmt(bp::BStmtKind::Call, S);
+    CallB->Callee = Callee->Name;
+    for (ExprRef E : Sig.Formals) {
+      ExprRef Translated = logic::substituteAll(Ctx, E, ActualMap);
+      CallB->Exprs.push_back(chooseExpr(Translated));
+    }
+
+    // Return temps t1..tp with their caller-context meanings.
+    std::vector<std::pair<ExprRef, ExprRef>> RetMap = ActualMap;
+    if (S.Lhs && Sig.RetVar)
+      RetMap.insert(RetMap.begin(),
+                    {Ctx.var(Sig.RetVar->Name), toLogic(Ctx, *S.Lhs)});
+    std::vector<std::string> TempNames;
+    std::vector<ExprRef> TempPreds;
+    for (size_t K = 0; K != Sig.Returns.size(); ++K) {
+      std::string TName =
+          "t" + std::to_string(S.Id) + "_" + std::to_string(K);
+      TempNames.push_back(TName);
+      TempPreds.push_back(
+          logic::substituteAll(Ctx, Sig.Returns[K], RetMap));
+      CurProc->Locals.push_back(TName);
+    }
+    CallB->Targets = TempNames;
+
+    if (UpdateIdx.empty())
+      return CallB;
+
+    // Update each invalidated predicate over E' = (E_S u E_G) - E_u
+    // plus the translated return predicates.
+    std::vector<ExprRef> VPrime;
+    std::vector<std::string> VPrimeNames;
+    for (size_t I = 0; I != ScopePreds.size(); ++I) {
+      if (std::find(UpdateIdx.begin(), UpdateIdx.end(), I) !=
+          UpdateIdx.end())
+        continue;
+      VPrime.push_back(ScopePreds[I]);
+      VPrimeNames.push_back(ScopeNames[I]);
+    }
+    for (size_t K = 0; K != TempPreds.size(); ++K) {
+      VPrime.push_back(TempPreds[K]);
+      VPrimeNames.push_back(TempNames[K]);
+    }
+
+    bp::BStmt *Update = stmt(bp::BStmtKind::Assign, S);
+    for (size_t I : UpdateIdx) {
+      ExprRef E = ScopePreds[I];
+      Dnf Pos = Cubes->findF(VPrime, E);
+      Dnf Neg = Cubes->findF(VPrime, Ctx.notE(E));
+      auto ToB = [&](const Dnf &D) {
+        if (D.empty())
+          return BP->constant(false);
+        const bp::BExpr *Or = nullptr;
+        for (const Cube &C : D) {
+          const bp::BExpr *And = nullptr;
+          for (const CubeLit &L : C) {
+            const bp::BExpr *Lit = BP->varRef(VPrimeNames[L.Var]);
+            if (!L.Positive)
+              Lit = BP->notE(Lit);
+            And = And ? BP->andE(And, Lit) : Lit;
+          }
+          if (!And)
+            And = BP->constant(true);
+          Or = Or ? BP->orE(Or, And) : And;
+        }
+        return Or;
+      };
+      Update->Targets.push_back(ScopeNames[I]);
+      Update->Exprs.push_back(BP->choose(ToB(Pos), ToB(Neg)));
+    }
+
+    bp::BStmt *Seq = BP->makeStmt(bp::BStmtKind::Block);
+    Seq->Stmts.push_back(CallB);
+    Seq->Stmts.push_back(Update);
+    return Seq;
+  }
+
+  // -- Procedure and program -----------------------------------------------
+  void abstractFunction(const FuncDecl &F) {
+    enterFunction(F);
+    const ProcSignature &Sig = Signatures.at(&F);
+
+    bp::BProc *Proc = BP->makeProc();
+    Proc->Name = F.Name;
+    Proc->NumReturns = static_cast<unsigned>(Sig.Returns.size());
+    CurProc = Proc;
+
+    std::set<std::string> FormalNames;
+    for (ExprRef E : Sig.Formals) {
+      Proc->Params.push_back(predName(E));
+      FormalNames.insert(predName(E));
+    }
+    for (ExprRef E : Preds.forProc(F.Name))
+      if (!FormalNames.count(predName(E)))
+        Proc->Locals.push_back(predName(E));
+
+    if (Options.UseEnforce) {
+      Dnf Contradictions = Cubes->findContradictions(ScopePreds);
+      if (!Contradictions.empty())
+        Proc->Enforce = BP->notE(dnfToBExpr(Contradictions));
+    }
+
+    bp::BStmt *Body = BP->makeStmt(bp::BStmtKind::Block);
+    for (const Stmt *S : F.Body->Stmts)
+      Body->Stmts.push_back(abstractStmt(*S));
+    // Non-void procedures whose C body can fall off the end still need
+    // well-typed returns: append one returning current values.
+    if (Proc->NumReturns != 0) {
+      bp::BStmt *R = BP->makeStmt(bp::BStmtKind::Return);
+      for (ExprRef E : Sig.Returns)
+        R->Exprs.push_back(BP->varRef(predName(E)));
+      Body->Stmts.push_back(R);
+    }
+    Proc->Body = Body;
+    BP->Procs.push_back(Proc);
+    CurProc = nullptr;
+  }
+
+  std::unique_ptr<bp::BProgram> run() {
+    BP = std::make_unique<bp::BProgram>();
+    for (ExprRef E : Preds.Globals)
+      BP->Globals.push_back(predName(E));
+    for (const FuncDecl *F : P.Functions)
+      if (F->Body)
+        abstractFunction(*F);
+    if (Stats) {
+      Stats->set("c2bp.predicates", Preds.totalCount());
+      Stats->set("c2bp.prover_calls", Prover.numCalls());
+    }
+    return std::move(BP);
+  }
+};
+
+C2bpTool::C2bpTool(const Program &P, const PredicateSet &Preds,
+                   logic::LogicContext &Ctx, C2bpOptions Options,
+                   StatsRegistry *Stats)
+    : M(std::make_unique<Impl>(P, Preds, Ctx, Options, Stats)) {}
+
+C2bpTool::~C2bpTool() = default;
+
+std::unique_ptr<bp::BProgram> C2bpTool::run() { return M->run(); }
+
+uint64_t C2bpTool::proverCalls() const { return M->Prover.numCalls(); }
+
+std::unique_ptr<bp::BProgram>
+c2bp::abstractProgram(const Program &P, const PredicateSet &Preds,
+                      logic::LogicContext &Ctx, DiagnosticEngine &Diags,
+                      C2bpOptions Options, StatsRegistry *Stats) {
+  (void)Diags;
+  C2bpTool Tool(P, Preds, Ctx, Options, Stats);
+  return Tool.run();
+}

@@ -1,0 +1,34 @@
+//===- CExprToLogic.h - Bridge C expressions into the logic -----*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts (normalized, side-effect-free) C expressions into the
+/// predicate logic so the WP engine and prover can reason about them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C2BP_CEXPRTOLOGIC_H
+#define C2BP_CEXPRTOLOGIC_H
+
+#include "cfront/AST.h"
+#include "logic/Expr.h"
+
+namespace slam {
+namespace c2bp {
+
+/// Translates \p E. The expression must be call-free (guaranteed after
+/// normalization for every context C2bp visits).
+logic::ExprRef toLogic(logic::LogicContext &Ctx, const cfront::Expr &E);
+
+/// Translates a C condition, producing a formula (scalar conditions have
+/// already been turned into comparisons by the normalizer).
+logic::ExprRef conditionToLogic(logic::LogicContext &Ctx,
+                                const cfront::Expr &E);
+
+} // namespace c2bp
+} // namespace slam
+
+#endif // C2BP_CEXPRTOLOGIC_H

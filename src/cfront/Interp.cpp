@@ -1,0 +1,703 @@
+//===- Interp.cpp - Reference execution of SIL-C ---------------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Interp.h"
+
+#include <cassert>
+
+using namespace slam;
+using namespace slam::cfront;
+
+StepHook::~StepHook() = default;
+
+Interpreter::Interpreter(const Program &P, uint64_t NondetSeed)
+    : P(P), RngState(NondetSeed * 2654435761ULL + 0x9e3779b97f4a7c15ULL) {
+  Objects.resize(1); // Object 0 is the NULL pseudo-object.
+  for (const VarDecl *G : P.Globals) {
+    int Obj = allocVar(G->Ty);
+    // C semantics: globals are zero-initialized.
+    if (Objects[Obj].K == Object::Kind::Cell)
+      Objects[Obj].Scalar = G->Ty->isPointer() ? Value::null()
+                                               : Value::makeInt(0);
+    Globals[G] = Obj;
+  }
+}
+
+uint32_t Interpreter::nextRandom() {
+  RngState ^= RngState << 13;
+  RngState ^= RngState >> 7;
+  RngState ^= RngState << 17;
+  return static_cast<uint32_t>(RngState >> 32);
+}
+
+Value Interpreter::havocValue(const Type *Ty) {
+  if (Ty->isPointer())
+    return Value::null(); // Uninitialized pointers read as NULL.
+  // Small signed range keeps the prover's constants small too.
+  return Value::makeInt(static_cast<int64_t>(nextRandom() % 21) - 10);
+}
+
+int Interpreter::allocVar(const Type *Ty) {
+  Object O;
+  if (Ty->isRecord()) {
+    O.K = Object::Kind::Record;
+    O.Rec = Ty->record();
+    Objects.push_back(O);
+    int Id = static_cast<int>(Objects.size() - 1);
+    for (const auto &F : Ty->record()->Fields) {
+      Object Cell;
+      Cell.Scalar = havocValue(F.Ty);
+      Objects.push_back(Cell);
+      Objects[Id].Fields[F.Name] =
+          static_cast<int>(Objects.size() - 1);
+    }
+    return Id;
+  }
+  if (Ty->isArray()) {
+    O.K = Object::Kind::Array;
+    Objects.push_back(O);
+    int Id = static_cast<int>(Objects.size() - 1);
+    for (int64_t I = 0; I != Ty->arraySize(); ++I) {
+      Object Cell;
+      Cell.Scalar = havocValue(Ty->elementType());
+      Objects.push_back(Cell);
+      Objects[Id].Elements.push_back(
+          static_cast<int>(Objects.size() - 1));
+    }
+    return Id;
+  }
+  O.Scalar = havocValue(Ty);
+  Objects.push_back(O);
+  return static_cast<int>(Objects.size() - 1);
+}
+
+int Interpreter::allocStruct(const RecordDecl *Rec) {
+  Object O;
+  O.K = Object::Kind::Record;
+  O.Rec = Rec;
+  Objects.push_back(O);
+  int Id = static_cast<int>(Objects.size() - 1);
+  for (const auto &F : Rec->Fields) {
+    Object Cell;
+    Cell.Scalar = F.Ty->isPointer() ? Value::null() : Value::makeInt(0);
+    Objects.push_back(Cell);
+    Objects[Id].Fields[F.Name] = static_cast<int>(Objects.size() - 1);
+  }
+  return Id;
+}
+
+void Interpreter::setField(int Obj, const std::string &Field, Value V) {
+  Objects[Objects[Obj].Fields.at(Field)].Scalar = V;
+}
+
+Value Interpreter::getField(int Obj, const std::string &Field) const {
+  return Objects[Objects[Obj].Fields.at(Field)].Scalar;
+}
+
+int Interpreter::allocCell(Value V) {
+  Object O;
+  O.Scalar = V;
+  Objects.push_back(O);
+  return static_cast<int>(Objects.size() - 1);
+}
+
+Value Interpreter::cellValue(int Obj) const { return Objects[Obj].Scalar; }
+
+void Interpreter::setGlobal(const std::string &Name, Value V) {
+  const VarDecl *G = P.findGlobal(Name);
+  assert(G && "unknown global");
+  Objects[Globals.at(G)].Scalar = V;
+}
+
+Value Interpreter::getGlobal(const std::string &Name) const {
+  const VarDecl *G = P.findGlobal(Name);
+  assert(G && "unknown global");
+  return Objects[Globals.at(G)].Scalar;
+}
+
+int Interpreter::slotOf(const VarDecl *V) {
+  if (V->isGlobal())
+    return Globals.at(V);
+  return Stack.back().Slots.at(V);
+}
+
+Value Interpreter::load(int Obj) const { return Objects[Obj].Scalar; }
+
+void Interpreter::store(int Obj, Value V) { Objects[Obj].Scalar = V; }
+
+//===----------------------------------------------------------------------===//
+// Flattening (structured control -> instructions)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct FlatBuilder {
+  std::vector<Interpreter::Instr> &Code;
+  std::map<std::string, int> Labels;
+  std::vector<std::pair<int, std::string>> GotoPatches;
+  std::vector<std::vector<int>> BreakPatches;
+  std::vector<int> ContinueTargets;
+
+  explicit FlatBuilder(std::vector<Interpreter::Instr> &Code)
+      : Code(Code) {}
+
+  int emit(Interpreter::Instr I) {
+    Code.push_back(I);
+    return static_cast<int>(Code.size() - 1);
+  }
+
+  void lower(const Stmt &S) {
+    using Op = Interpreter::Instr::Op;
+    switch (S.Kind) {
+    case CStmtKind::Block:
+      for (const Stmt *Sub : S.Stmts)
+        lower(*Sub);
+      return;
+    case CStmtKind::Assign:
+      emit({Op::Assign, &S, -1, -1});
+      return;
+    case CStmtKind::CallStmt:
+      emit({Op::Call, &S, -1, -1});
+      return;
+    case CStmtKind::Assert:
+      emit({Op::Assert, &S, -1, -1});
+      return;
+    case CStmtKind::Skip:
+      return;
+    case CStmtKind::Label:
+      Labels[S.LabelName] = static_cast<int>(Code.size());
+      lower(*S.Sub);
+      return;
+    case CStmtKind::Goto: {
+      int J = emit({Op::Jump, &S, -1, -1});
+      GotoPatches.emplace_back(J, S.LabelName);
+      return;
+    }
+    case CStmtKind::Return:
+      emit({Op::Return, &S, -1, -1});
+      return;
+    case CStmtKind::If: {
+      int B = emit({Op::Branch, &S, -1, -1});
+      Code[B].ThenTarget = static_cast<int>(Code.size());
+      lower(*S.Then);
+      if (S.Else) {
+        int SkipElse = emit({Op::Jump, nullptr, -1, -1});
+        Code[B].Target = static_cast<int>(Code.size());
+        lower(*S.Else);
+        Code[SkipElse].Target = static_cast<int>(Code.size());
+      } else {
+        Code[B].Target = static_cast<int>(Code.size());
+      }
+      return;
+    }
+    case CStmtKind::While: {
+      int Top = static_cast<int>(Code.size());
+      int B = emit({Op::Branch, &S, -1, -1});
+      Code[B].ThenTarget = static_cast<int>(Code.size());
+      BreakPatches.emplace_back();
+      ContinueTargets.push_back(Top);
+      lower(*S.Body);
+      emit({Op::Jump, nullptr, Top, -1});
+      Code[B].Target = static_cast<int>(Code.size());
+      for (int Patch : BreakPatches.back())
+        Code[Patch].Target = static_cast<int>(Code.size());
+      BreakPatches.pop_back();
+      ContinueTargets.pop_back();
+      return;
+    }
+    case CStmtKind::Break: {
+      int J = emit({Op::Jump, &S, -1, -1});
+      BreakPatches.back().push_back(J);
+      return;
+    }
+    case CStmtKind::Continue:
+      emit({Op::Jump, &S, ContinueTargets.back(), -1});
+      return;
+    }
+  }
+
+  void finish() {
+    for (const auto &[Idx, Label] : GotoPatches) {
+      auto It = Labels.find(Label);
+      assert(It != Labels.end() && "checked by Sema");
+      Code[Idx].Target = It->second;
+    }
+  }
+};
+
+} // namespace
+
+const Interpreter::FlatFunction &Interpreter::flatten(const FuncDecl &F) {
+  auto It = FlatCache.find(&F);
+  if (It != FlatCache.end())
+    return It->second;
+  FlatFunction Flat;
+  FlatBuilder B(Flat.Code);
+  if (F.Body)
+    B.lower(*F.Body);
+  B.finish();
+  return FlatCache.emplace(&F, std::move(Flat)).first->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Expression evaluation
+//===----------------------------------------------------------------------===//
+
+int Interpreter::lvalueObject(const Expr &E) {
+  switch (E.Kind) {
+  case CExprKind::VarRef:
+    return slotOf(E.Var);
+  case CExprKind::Unary: {
+    assert(E.UOp == UnaryOp::Deref);
+    Value V = eval(*E.Ops[0]);
+    return V.isNull() ? -1 : V.Obj;
+  }
+  case CExprKind::Member: {
+    int Base;
+    if (E.IsArrow) {
+      Value V = eval(*E.Ops[0]);
+      if (V.isNull())
+        return -1;
+      Base = V.Obj;
+    } else {
+      Base = lvalueObject(*E.Ops[0]);
+      if (Base < 0)
+        return -1;
+    }
+    const Object &O = Objects[Base];
+    auto It = O.Fields.find(E.FieldName);
+    return It == O.Fields.end() ? -1 : It->second;
+  }
+  case CExprKind::Index: {
+    int Base = lvalueObject(*E.Ops[0]);
+    if (Base < 0)
+      return -1;
+    const Object *O = &Objects[Base];
+    if (O->K == Object::Kind::Cell) {
+      // Pointer variable: index its target array-ish object.
+      Value V = O->Scalar;
+      if (V.isNull())
+        return -1;
+      O = &Objects[V.Obj];
+    }
+    Value Idx = eval(*E.Ops[1]);
+    if (O->K != Object::Kind::Array || Idx.I < 0 ||
+        Idx.I >= static_cast<int64_t>(O->Elements.size()))
+      return -1;
+    return O->Elements[static_cast<size_t>(Idx.I)];
+  }
+  default:
+    return -1;
+  }
+}
+
+Value Interpreter::eval(const Expr &E) {
+  switch (E.Kind) {
+  case CExprKind::IntLit:
+    return Value::makeInt(E.IntValue);
+  case CExprKind::NullLit:
+    return Value::null();
+  case CExprKind::VarRef:
+  case CExprKind::Member:
+  case CExprKind::Index: {
+    int Obj = lvalueObject(E);
+    if (Obj < 0) {
+      Status = Outcome::RuntimeError;
+      return Value::makeInt(0);
+    }
+    return load(Obj);
+  }
+  case CExprKind::Unary:
+    switch (E.UOp) {
+    case UnaryOp::Deref: {
+      int Obj = lvalueObject(E);
+      if (Obj < 0) {
+        Status = Outcome::RuntimeError;
+        return Value::makeInt(0);
+      }
+      return load(Obj);
+    }
+    case UnaryOp::AddrOf: {
+      int Obj = lvalueObject(*E.Ops[0]);
+      if (Obj < 0) {
+        Status = Outcome::RuntimeError;
+        return Value::null();
+      }
+      return Value::makePtr(Obj);
+    }
+    case UnaryOp::Neg:
+      return Value::makeInt(-eval(*E.Ops[0]).I);
+    case UnaryOp::Not:
+      return Value::makeInt(evalCond(*E.Ops[0]) ? 0 : 1);
+    }
+    break;
+  case CExprKind::Binary: {
+    if (E.BOp == BinaryOp::LAnd)
+      return Value::makeInt(evalCond(*E.Ops[0]) && evalCond(*E.Ops[1]));
+    if (E.BOp == BinaryOp::LOr)
+      return Value::makeInt(evalCond(*E.Ops[0]) || evalCond(*E.Ops[1]));
+    Value L = eval(*E.Ops[0]);
+    Value R = eval(*E.Ops[1]);
+    switch (E.BOp) {
+    case BinaryOp::Add:
+      if (L.K == Value::Kind::Ptr)
+        return L; // Logical model: p + i points to *p's object.
+      return Value::makeInt(L.I + R.I);
+    case BinaryOp::Sub:
+      if (L.K == Value::Kind::Ptr)
+        return L;
+      return Value::makeInt(L.I - R.I);
+    case BinaryOp::Mul:
+      return Value::makeInt(L.I * R.I);
+    case BinaryOp::Div:
+      if (R.I == 0) {
+        Status = Outcome::RuntimeError;
+        return Value::makeInt(0);
+      }
+      return Value::makeInt(L.I / R.I);
+    case BinaryOp::Mod:
+      if (R.I == 0) {
+        Status = Outcome::RuntimeError;
+        return Value::makeInt(0);
+      }
+      return Value::makeInt(L.I % R.I);
+    case BinaryOp::Eq:
+      return Value::makeInt(L == R);
+    case BinaryOp::Ne:
+      return Value::makeInt(!(L == R));
+    case BinaryOp::Lt:
+      return Value::makeInt(L.I < R.I);
+    case BinaryOp::Le:
+      return Value::makeInt(L.I <= R.I);
+    case BinaryOp::Gt:
+      return Value::makeInt(L.I > R.I);
+    case BinaryOp::Ge:
+      return Value::makeInt(L.I >= R.I);
+    default:
+      break;
+    }
+    break;
+  }
+  case CExprKind::Call:
+    assert(false && "calls are statement-level after normalization");
+    break;
+  }
+  return Value::makeInt(0);
+}
+
+bool Interpreter::evalCond(const Expr &E) {
+  Value V = eval(E);
+  return V.K == Value::Kind::Int ? V.I != 0 : V.Obj != 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+Value Interpreter::callFunction(const FuncDecl &F,
+                                std::vector<Value> Args) {
+  if (F.isExtern()) {
+    // Default extern behavior: a fresh nondeterministic value, no side
+    // effects (test harnesses may override via externHandlers).
+    auto It = ExternHandlers.find(F.Name);
+    if (It != ExternHandlers.end())
+      return It->second(*this, Args);
+    (void)Args;
+    return havocValue(F.ReturnTy->isVoid() ? P.Types.intType()
+                                           : F.ReturnTy);
+  }
+
+  Frame Fr;
+  Fr.F = &F;
+  for (size_t I = 0; I != F.Params.size(); ++I) {
+    int Slot = allocVar(F.Params[I]->Ty);
+    if (I < Args.size())
+      Objects[Slot].Scalar = Args[I];
+    Fr.Slots[F.Params[I]] = Slot;
+  }
+  for (const VarDecl *L : F.Locals)
+    Fr.Slots[L] = allocVar(L->Ty);
+  Stack.push_back(std::move(Fr));
+
+  const FlatFunction &Flat = flatten(F);
+  Value Ret = Value::makeInt(0);
+  size_t Pc = 0;
+  while (Pc < Flat.Code.size() && Status == Outcome::Finished) {
+    if (--StepsLeft <= 0) {
+      Status = Outcome::StepLimit;
+      break;
+    }
+    const Instr &I = Flat.Code[Pc];
+    switch (I.K) {
+    case Instr::Op::Assign: {
+      if (Hook)
+        Hook->onStep(*I.S, true);
+      Value V = eval(*I.S->Rhs);
+      int Obj = lvalueObject(*I.S->Lhs);
+      if (Obj < 0 || Status != Outcome::Finished) {
+        Status = Outcome::RuntimeError;
+        StopAt = I.S;
+        break;
+      }
+      store(Obj, V);
+      if (Hook)
+        Hook->afterStore(*I.S);
+      ++Pc;
+      break;
+    }
+    case Instr::Op::Call: {
+      if (Hook)
+        Hook->onStep(*I.S, true);
+      std::vector<Value> CallArgs;
+      for (const Expr *A : I.S->CallE->Ops)
+        CallArgs.push_back(eval(*A));
+      Value V = callFunction(*I.S->CallE->Callee, std::move(CallArgs));
+      if (Status != Outcome::Finished)
+        break;
+      if (I.S->Lhs) {
+        int Obj = lvalueObject(*I.S->Lhs);
+        if (Obj < 0) {
+          Status = Outcome::RuntimeError;
+          StopAt = I.S;
+          break;
+        }
+        store(Obj, V);
+      }
+      if (Hook)
+        Hook->afterStore(*I.S);
+      ++Pc;
+      break;
+    }
+    case Instr::Op::Assert: {
+      bool V = evalCond(*I.S->Cond);
+      if (Hook)
+        Hook->onStep(*I.S, V);
+      if (!V) {
+        Status = Outcome::AssertFailed;
+        StopAt = I.S;
+        break;
+      }
+      ++Pc;
+      break;
+    }
+    case Instr::Op::Branch: {
+      bool V = evalCond(*I.S->Cond);
+      if (Hook)
+        Hook->onStep(*I.S, V);
+      Pc = static_cast<size_t>(V ? I.ThenTarget : I.Target);
+      break;
+    }
+    case Instr::Op::Jump:
+      Pc = static_cast<size_t>(I.Target);
+      break;
+    case Instr::Op::Return:
+      if (I.S && I.S->Rhs)
+        Ret = eval(*I.S->Rhs);
+      Pc = Flat.Code.size();
+      break;
+    }
+  }
+
+  Stack.pop_back();
+  return Ret;
+}
+
+Interpreter::Outcome Interpreter::run(const std::string &Func,
+                                      std::vector<Value> Args,
+                                      StepHook *RunHook, int MaxSteps) {
+  const FuncDecl *F = P.findFunction(Func);
+  assert(F && F->Body && "entry must be defined");
+  Hook = RunHook;
+  StepsLeft = MaxSteps;
+  Status = Outcome::Finished;
+  StopAt = nullptr;
+  LastReturn = callFunction(*F, std::move(Args));
+  Hook = nullptr;
+  return Status;
+}
+
+//===----------------------------------------------------------------------===//
+// Predicate evaluation (logic terms against the concrete state)
+//===----------------------------------------------------------------------===//
+
+namespace {
+using logic::ExprKind;
+using logic::ExprRef;
+} // namespace
+
+std::optional<Value> Interpreter::evalLogic(ExprRef E) const {
+  auto LocObject = [this](ExprRef Loc,
+                          auto &&Self) -> std::optional<int> {
+    switch (Loc->kind()) {
+    case ExprKind::Var: {
+      const VarDecl *V = nullptr;
+      if (!Stack.empty())
+        V = Stack.back().F->findLocalOrParam(Loc->name());
+      if (!V)
+        V = P.findGlobal(Loc->name());
+      if (!V)
+        return std::nullopt;
+      if (V->isGlobal())
+        return Globals.at(V);
+      auto It = Stack.back().Slots.find(V);
+      return It == Stack.back().Slots.end() ? std::optional<int>()
+                                            : std::optional<int>(It->second);
+    }
+    case ExprKind::Deref: {
+      std::optional<Value> Ptr = evalLogic(Loc->op(0));
+      if (!Ptr || Ptr->isNull() || Ptr->K != Value::Kind::Ptr)
+        return std::nullopt;
+      return Ptr->Obj;
+    }
+    case ExprKind::Field: {
+      std::optional<int> Base = Self(Loc->op(0), Self);
+      if (!Base)
+        return std::nullopt;
+      const Object &O = Objects[*Base];
+      auto It = O.Fields.find(Loc->name());
+      if (It == O.Fields.end())
+        return std::nullopt;
+      return It->second;
+    }
+    case ExprKind::Index: {
+      std::optional<int> Base = Self(Loc->op(0), Self);
+      std::optional<Value> Idx = evalLogic(Loc->op(1));
+      if (!Base || !Idx || Idx->K != Value::Kind::Int)
+        return std::nullopt;
+      const Object *O = &Objects[*Base];
+      if (O->K == Object::Kind::Cell) {
+        if (O->Scalar.isNull() || O->Scalar.K != Value::Kind::Ptr)
+          return std::nullopt;
+        O = &Objects[O->Scalar.Obj];
+      }
+      if (O->K != Object::Kind::Array || Idx->I < 0 ||
+          Idx->I >= static_cast<int64_t>(O->Elements.size()))
+        return std::nullopt;
+      return O->Elements[static_cast<size_t>(Idx->I)];
+    }
+    default:
+      return std::nullopt;
+    }
+  };
+
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return Value::makeInt(E->intValue());
+  case ExprKind::NullLit:
+    return Value::null();
+  case ExprKind::BoolLit:
+    return Value::makeInt(E->boolValue());
+  case ExprKind::Var:
+  case ExprKind::Deref:
+  case ExprKind::Field:
+  case ExprKind::Index: {
+    std::optional<int> Obj = LocObject(E, LocObject);
+    if (!Obj)
+      return std::nullopt;
+    const Object &O = Objects[*Obj];
+    if (O.K != Object::Kind::Cell)
+      return std::nullopt; // Whole structs/arrays have no scalar value.
+    return O.Scalar;
+  }
+  case ExprKind::AddrOf: {
+    std::optional<int> Obj = LocObject(E->op(0), LocObject);
+    if (!Obj)
+      return std::nullopt;
+    return Value::makePtr(*Obj);
+  }
+  default:
+    break;
+  }
+
+  // Compound terms/formulas.
+  auto Int = [](const std::optional<Value> &V) -> std::optional<int64_t> {
+    if (!V || V->K != Value::Kind::Int)
+      return std::nullopt;
+    return V->I;
+  };
+  switch (E->kind()) {
+  case ExprKind::Neg: {
+    auto V = Int(evalLogic(E->op(0)));
+    if (!V)
+      return std::nullopt;
+    return Value::makeInt(-*V);
+  }
+  case ExprKind::Add:
+  case ExprKind::Sub:
+  case ExprKind::Mul:
+  case ExprKind::Div:
+  case ExprKind::Mod: {
+    auto L = Int(evalLogic(E->op(0)));
+    auto R = Int(evalLogic(E->op(1)));
+    if (!L || !R)
+      return std::nullopt;
+    switch (E->kind()) {
+    case ExprKind::Add:
+      return Value::makeInt(*L + *R);
+    case ExprKind::Sub:
+      return Value::makeInt(*L - *R);
+    case ExprKind::Mul:
+      return Value::makeInt(*L * *R);
+    case ExprKind::Div:
+      return *R == 0 ? std::optional<Value>()
+                     : Value::makeInt(*L / *R);
+    default:
+      return *R == 0 ? std::optional<Value>()
+                     : Value::makeInt(*L % *R);
+    }
+  }
+  case ExprKind::Eq:
+  case ExprKind::Ne: {
+    auto L = evalLogic(E->op(0));
+    auto R = evalLogic(E->op(1));
+    if (!L || !R)
+      return std::nullopt;
+    bool Equal = *L == *R;
+    return Value::makeInt(E->kind() == ExprKind::Eq ? Equal : !Equal);
+  }
+  case ExprKind::Lt:
+  case ExprKind::Le:
+  case ExprKind::Gt:
+  case ExprKind::Ge: {
+    auto L = Int(evalLogic(E->op(0)));
+    auto R = Int(evalLogic(E->op(1)));
+    if (!L || !R)
+      return std::nullopt;
+    switch (E->kind()) {
+    case ExprKind::Lt:
+      return Value::makeInt(*L < *R);
+    case ExprKind::Le:
+      return Value::makeInt(*L <= *R);
+    case ExprKind::Gt:
+      return Value::makeInt(*L > *R);
+    default:
+      return Value::makeInt(*L >= *R);
+    }
+  }
+  case ExprKind::Not: {
+    auto V = Int(evalLogic(E->op(0)));
+    if (!V)
+      return std::nullopt;
+    return Value::makeInt(*V == 0);
+  }
+  case ExprKind::And:
+  case ExprKind::Or: {
+    bool IsAnd = E->kind() == ExprKind::And;
+    for (ExprRef Op : E->operands()) {
+      auto V = Int(evalLogic(Op));
+      if (!V)
+        return std::nullopt;
+      if (IsAnd && *V == 0)
+        return Value::makeInt(0);
+      if (!IsAnd && *V != 0)
+        return Value::makeInt(1);
+    }
+    return Value::makeInt(IsAnd ? 1 : 0);
+  }
+  default:
+    return std::nullopt;
+  }
+}

@@ -1,0 +1,511 @@
+//===- Normalize.cpp - Section 4's intermediate form ------------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Normalize.h"
+
+#include "cfront/Parser.h"
+#include "cfront/Sema.h"
+
+using namespace slam;
+using namespace slam::cfront;
+
+namespace {
+
+class Normalizer {
+public:
+  Normalizer(Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  bool run() {
+    for (FuncDecl *F : P.Functions)
+      if (F->Body)
+        normalizeFunction(*F);
+    return !Diags.hasErrors();
+  }
+
+private:
+  Program &P;
+  DiagnosticEngine &Diags;
+  FuncDecl *F = nullptr;
+  unsigned TempCounter = 0;
+  VarDecl *RetVal = nullptr; // Set when returns are rewritten.
+
+  void error(SourceLoc Loc, const std::string &Message) {
+    Diags.error(Loc, Message);
+  }
+
+  VarDecl *makeTemp(const Type *Ty, SourceLoc Loc) {
+    std::string Name = "__t" + std::to_string(TempCounter++);
+    VarDecl *V = P.makeVar(Name, Ty, VarDecl::Scope::Local, Loc);
+    F->Locals.push_back(V);
+    return V;
+  }
+
+  Expr *varRef(VarDecl *V, SourceLoc Loc) {
+    Expr *E = P.makeExpr(CExprKind::VarRef, Loc);
+    E->Name = V->Name;
+    E->Var = V;
+    E->Ty = V->Ty;
+    return E;
+  }
+
+  // -- Return-shape analysis ------------------------------------------------
+  void countReturns(const Stmt &S, unsigned &Count, const Stmt *&Last) {
+    if (S.Kind == CStmtKind::Return) {
+      ++Count;
+      Last = &S;
+    }
+    for (const Stmt *Sub : {S.Then, S.Else, S.Body, S.Sub})
+      if (Sub)
+        countReturns(*Sub, Count, Last);
+    for (const Stmt *Sub : S.Stmts)
+      countReturns(*Sub, Count, Last);
+  }
+
+  void normalizeFunction(FuncDecl &Func) {
+    F = &Func;
+    TempCounter = 0;
+    RetVal = nullptr;
+
+    // Decide whether returns must be funneled through __retval: a single
+    // trailing `return v;` already has the Section 4.5 shape.
+    if (!Func.ReturnTy->isVoid()) {
+      unsigned Count = 0;
+      const Stmt *Last = nullptr;
+      countReturns(*Func.Body, Count, Last);
+      bool SimpleShape = Count == 1 && !Func.Body->Stmts.empty() &&
+                         Func.Body->Stmts.back() == Last && Last->Rhs &&
+                         Last->Rhs->Kind == CExprKind::VarRef;
+      if (!SimpleShape)
+        RetVal = makeRetVal(Func);
+    }
+
+    Stmt *NewBody = P.makeStmt(CStmtKind::Block, Func.Body->Loc);
+    for (Stmt *S : Func.Body->Stmts)
+      normalizeStmt(S, NewBody->Stmts);
+
+    if (RetVal) {
+      // __exit: return __retval;
+      Stmt *Ret = P.makeStmt(CStmtKind::Return, Func.Loc);
+      Ret->Rhs = varRef(RetVal, Func.Loc);
+      Stmt *Exit = P.makeStmt(CStmtKind::Label, Func.Loc);
+      Exit->LabelName = "__exit";
+      Exit->Sub = Ret;
+      NewBody->Stmts.push_back(Exit);
+    }
+    Func.Body = NewBody;
+    F = nullptr;
+  }
+
+  VarDecl *makeRetVal(FuncDecl &Func) {
+    VarDecl *V =
+        P.makeVar("__retval", Func.ReturnTy, VarDecl::Scope::Local, Func.Loc);
+    Func.Locals.push_back(V);
+    return V;
+  }
+
+  // -- Statements -------------------------------------------------------------
+  void normalizeStmt(Stmt *S, std::vector<Stmt *> &Out) {
+    switch (S->Kind) {
+    case CStmtKind::Block: {
+      Stmt *B = P.makeStmt(CStmtKind::Block, S->Loc);
+      for (Stmt *Sub : S->Stmts)
+        normalizeStmt(Sub, B->Stmts);
+      Out.push_back(B);
+      return;
+    }
+    case CStmtKind::Assign: {
+      Expr *Rhs = normTerm(S->Rhs, Out);
+      Expr *Lhs = normLocation(S->Lhs, Out);
+      if (!Rhs || !Lhs)
+        return;
+      // `x = f(...)` arrives as an Assign only when synthesized; route
+      // it through a CallStmt shape.
+      Stmt *N = P.makeStmt(CStmtKind::Assign, S->Loc);
+      N->Lhs = Lhs;
+      N->Rhs = Rhs;
+      Out.push_back(N);
+      return;
+    }
+    case CStmtKind::CallStmt: {
+      Expr *Call = normCallTopLevel(S->CallE, Out);
+      Expr *Lhs = S->Lhs ? normLocation(S->Lhs, Out) : nullptr;
+      if (!Call || (S->Lhs && !Lhs))
+        return;
+      Stmt *N = P.makeStmt(CStmtKind::CallStmt, S->Loc);
+      N->Lhs = Lhs;
+      N->CallE = Call;
+      Out.push_back(N);
+      return;
+    }
+    case CStmtKind::If: {
+      std::vector<Stmt *> Hoisted;
+      Expr *Cond = normCond(S->Cond, Hoisted);
+      if (!Cond)
+        return;
+      for (Stmt *H : Hoisted)
+        Out.push_back(H);
+      Stmt *N = P.makeStmt(CStmtKind::If, S->Loc);
+      N->Cond = Cond;
+      N->Then = normalizeToSingle(S->Then);
+      N->Else = S->Else ? normalizeToSingle(S->Else) : nullptr;
+      Out.push_back(N);
+      return;
+    }
+    case CStmtKind::While: {
+      std::vector<Stmt *> Hoisted;
+      Expr *Cond = normCond(S->Cond, Hoisted);
+      if (!Cond)
+        return;
+      Stmt *N = P.makeStmt(CStmtKind::While, S->Loc);
+      if (Hoisted.empty()) {
+        N->Cond = Cond;
+        N->Body = normalizeToSingle(S->Body);
+        Out.push_back(N);
+        return;
+      }
+      // The condition needed per-iteration statements (a call or a
+      // dereference chain): lower to
+      //   while (1) { <hoisted>; if (!cond) break; body }
+      Expr *One = P.makeExpr(CExprKind::IntLit, S->Loc);
+      One->IntValue = 1;
+      One->Ty = P.Types.intType();
+      Expr *True = P.makeExpr(CExprKind::Binary, S->Loc);
+      True->BOp = BinaryOp::Ne;
+      True->Ops.push_back(One);
+      Expr *Zero = P.makeExpr(CExprKind::IntLit, S->Loc);
+      Zero->IntValue = 0;
+      Zero->Ty = P.Types.intType();
+      True->Ops.push_back(Zero);
+      True->Ty = P.Types.intType();
+      N->Cond = True;
+
+      Stmt *Body = P.makeStmt(CStmtKind::Block, S->Loc);
+      for (Stmt *H : Hoisted)
+        Body->Stmts.push_back(H);
+      Expr *NotCond = P.makeExpr(CExprKind::Unary, S->Loc);
+      NotCond->UOp = UnaryOp::Not;
+      NotCond->Ops.push_back(Cond);
+      NotCond->Ty = P.Types.intType();
+      Stmt *Exit = P.makeStmt(CStmtKind::If, S->Loc);
+      Exit->Cond = NotCond;
+      Exit->Then = P.makeStmt(CStmtKind::Break, S->Loc);
+      Body->Stmts.push_back(Exit);
+      Body->Stmts.push_back(normalizeToSingle(S->Body));
+      N->Body = Body;
+      Out.push_back(N);
+      return;
+    }
+    case CStmtKind::Label: {
+      Stmt *N = P.makeStmt(CStmtKind::Label, S->Loc);
+      N->LabelName = S->LabelName;
+      std::vector<Stmt *> Sub;
+      normalizeStmt(S->Sub, Sub);
+      if (Sub.size() == 1) {
+        N->Sub = Sub.front();
+      } else {
+        Stmt *B = P.makeStmt(CStmtKind::Block, S->Loc);
+        B->Stmts = std::move(Sub);
+        N->Sub = B;
+      }
+      Out.push_back(N);
+      return;
+    }
+    case CStmtKind::Return: {
+      if (!RetVal) {
+        Stmt *N = P.makeStmt(CStmtKind::Return, S->Loc);
+        if (S->Rhs) {
+          N->Rhs = normTerm(S->Rhs, Out);
+          if (!N->Rhs)
+            return;
+        }
+        Out.push_back(N);
+        return;
+      }
+      // return e  =>  __retval = e; goto __exit;
+      if (S->Rhs) {
+        Expr *Val = normTerm(S->Rhs, Out);
+        if (!Val)
+          return;
+        Stmt *A = P.makeStmt(CStmtKind::Assign, S->Loc);
+        A->Lhs = varRef(RetVal, S->Loc);
+        A->Rhs = Val;
+        Out.push_back(A);
+      }
+      Stmt *G = P.makeStmt(CStmtKind::Goto, S->Loc);
+      G->LabelName = "__exit";
+      Out.push_back(G);
+      return;
+    }
+    case CStmtKind::Assert: {
+      Expr *Cond = normCond(S->Cond, Out);
+      if (!Cond)
+        return;
+      Stmt *N = P.makeStmt(CStmtKind::Assert, S->Loc);
+      N->Cond = Cond;
+      Out.push_back(N);
+      return;
+    }
+    case CStmtKind::Goto:
+    case CStmtKind::Break:
+    case CStmtKind::Continue:
+    case CStmtKind::Skip: {
+      Stmt *N = P.makeStmt(S->Kind, S->Loc);
+      N->LabelName = S->LabelName;
+      Out.push_back(N);
+      return;
+    }
+    }
+  }
+
+  Stmt *normalizeToSingle(Stmt *S) {
+    std::vector<Stmt *> Items;
+    normalizeStmt(S, Items);
+    if (Items.size() == 1)
+      return Items.front();
+    Stmt *B = P.makeStmt(CStmtKind::Block, S->Loc);
+    B->Stmts = std::move(Items);
+    return B;
+  }
+
+  // -- Expressions ------------------------------------------------------------
+  /// A "simple" base is a plain variable; anything else gets hoisted
+  /// into a temporary so no expression performs two dereferences.
+  Expr *simplifyBase(Expr *Base, std::vector<Stmt *> &Out) {
+    if (Base->Kind == CExprKind::VarRef)
+      return Base;
+    assert(Base->Ty && "operand must be typed before normalization");
+    VarDecl *Tmp = makeTemp(Base->Ty, Base->Loc);
+    Stmt *A = P.makeStmt(CStmtKind::Assign, Base->Loc);
+    A->Lhs = varRef(Tmp, Base->Loc);
+    A->Rhs = Base;
+    Out.push_back(A);
+    return varRef(Tmp, Base->Loc);
+  }
+
+  /// Normalizes a call and hoists it into a temporary.
+  Expr *hoistCall(Expr *Call, std::vector<Stmt *> &Out) {
+    Expr *Normed = normCallTopLevel(Call, Out);
+    if (!Normed)
+      return nullptr;
+    if (Normed->Ty->isVoid()) {
+      error(Call->Loc, "void call used as a value");
+      return nullptr;
+    }
+    VarDecl *Tmp = makeTemp(Normed->Ty, Call->Loc);
+    Stmt *CS = P.makeStmt(CStmtKind::CallStmt, Call->Loc);
+    CS->Lhs = varRef(Tmp, Call->Loc);
+    CS->CallE = Normed;
+    Out.push_back(CS);
+    return varRef(Tmp, Call->Loc);
+  }
+
+  Expr *normCallTopLevel(Expr *Call, std::vector<Stmt *> &Out) {
+    Expr *N = P.makeExpr(CExprKind::Call, Call->Loc);
+    N->Name = Call->Name;
+    N->Callee = Call->Callee;
+    N->Ty = Call->Ty;
+    for (Expr *Arg : Call->Ops) {
+      Expr *NA = normTerm(Arg, Out);
+      if (!NA)
+        return nullptr;
+      N->Ops.push_back(NA);
+    }
+    return N;
+  }
+
+  /// Term position: no boolean operators allowed; calls hoisted;
+  /// dereference bases simplified.
+  Expr *normTerm(Expr *E, std::vector<Stmt *> &Out) {
+    switch (E->Kind) {
+    case CExprKind::IntLit:
+    case CExprKind::NullLit:
+    case CExprKind::VarRef:
+      return E;
+    case CExprKind::Call:
+      return hoistCall(E, Out);
+    case CExprKind::Unary: {
+      if (E->UOp == UnaryOp::Not) {
+        error(E->Loc, "boolean operator used as a value; SIL-C keeps "
+                      "formulas in conditions only");
+        return nullptr;
+      }
+      Expr *Sub = normTerm(E->Ops[0], Out);
+      if (!Sub)
+        return nullptr;
+      if (E->UOp == UnaryOp::Deref)
+        Sub = simplifyBase(Sub, Out);
+      Expr *N = P.makeExpr(CExprKind::Unary, E->Loc);
+      N->UOp = E->UOp;
+      N->Ops.push_back(Sub);
+      N->Ty = E->Ty;
+      return N;
+    }
+    case CExprKind::Binary: {
+      if (isComparisonOp(E->BOp) || E->BOp == BinaryOp::LAnd ||
+          E->BOp == BinaryOp::LOr) {
+        error(E->Loc, "boolean expression used as a value; SIL-C keeps "
+                      "formulas in conditions only");
+        return nullptr;
+      }
+      Expr *L = normTerm(E->Ops[0], Out);
+      Expr *R = normTerm(E->Ops[1], Out);
+      if (!L || !R)
+        return nullptr;
+      Expr *N = P.makeExpr(CExprKind::Binary, E->Loc);
+      N->BOp = E->BOp;
+      N->Ops.push_back(L);
+      N->Ops.push_back(R);
+      N->Ty = E->Ty;
+      return N;
+    }
+    case CExprKind::Member: {
+      Expr *Base = normTerm(E->Ops[0], Out);
+      if (!Base)
+        return nullptr;
+      bool Arrow = E->IsArrow;
+      // (*p).f is canonicalized to p->f.
+      if (!Arrow && Base->Kind == CExprKind::Unary &&
+          Base->UOp == UnaryOp::Deref) {
+        Base = Base->Ops[0];
+        Arrow = true;
+      }
+      if (Arrow)
+        Base = simplifyBase(Base, Out);
+      Expr *N = P.makeExpr(CExprKind::Member, E->Loc);
+      N->Ops.push_back(Base);
+      N->FieldName = E->FieldName;
+      N->IsArrow = Arrow;
+      N->Ty = E->Ty;
+      return N;
+    }
+    case CExprKind::Index: {
+      Expr *Base = normTerm(E->Ops[0], Out);
+      Expr *Idx = normTerm(E->Ops[1], Out);
+      if (!Base || !Idx)
+        return nullptr;
+      Base = simplifyBase(Base, Out);
+      Expr *N = P.makeExpr(CExprKind::Index, E->Loc);
+      N->Ops.push_back(Base);
+      N->Ops.push_back(Idx);
+      N->Ty = E->Ty;
+      return N;
+    }
+    }
+    return nullptr;
+  }
+
+  /// Location position (assignment target): like normTerm but the outer
+  /// node must remain a location.
+  Expr *normLocation(Expr *E, std::vector<Stmt *> &Out) {
+    Expr *N = normTerm(E, Out);
+    if (N && !N->isLocation()) {
+      error(E->Loc, "assignment target is not a location");
+      return nullptr;
+    }
+    return N;
+  }
+
+  /// Condition position: boolean structure preserved; scalar conditions
+  /// become explicit comparisons with 0 / NULL.
+  Expr *normCond(Expr *E, std::vector<Stmt *> &Out) {
+    switch (E->Kind) {
+    case CExprKind::Binary:
+      if (E->BOp == BinaryOp::LAnd || E->BOp == BinaryOp::LOr) {
+        size_t Before = Out.size();
+        Expr *L = normCond(E->Ops[0], Out);
+        Expr *R = normCond(E->Ops[1], Out);
+        if (!L || !R)
+          return nullptr;
+        if (Out.size() != Before) {
+          // Hoisted statements under && / || would not respect
+          // short-circuit evaluation; the subset rules them out.
+          error(E->Loc, "calls and dereference chains are not allowed "
+                        "under && / ||");
+          return nullptr;
+        }
+        Expr *N = P.makeExpr(CExprKind::Binary, E->Loc);
+        N->BOp = E->BOp;
+        N->Ops.push_back(L);
+        N->Ops.push_back(R);
+        N->Ty = P.Types.intType();
+        return N;
+      }
+      if (isComparisonOp(E->BOp)) {
+        Expr *L = normTerm(E->Ops[0], Out);
+        Expr *R = normTerm(E->Ops[1], Out);
+        if (!L || !R)
+          return nullptr;
+        Expr *N = P.makeExpr(CExprKind::Binary, E->Loc);
+        N->BOp = E->BOp;
+        N->Ops.push_back(L);
+        N->Ops.push_back(R);
+        N->Ty = P.Types.intType();
+        return N;
+      }
+      break;
+    case CExprKind::Unary:
+      if (E->UOp == UnaryOp::Not) {
+        Expr *Sub = normCond(E->Ops[0], Out);
+        if (!Sub)
+          return nullptr;
+        Expr *N = P.makeExpr(CExprKind::Unary, E->Loc);
+        N->UOp = UnaryOp::Not;
+        N->Ops.push_back(Sub);
+        N->Ty = P.Types.intType();
+        return N;
+      }
+      break;
+    default:
+      break;
+    }
+    // Scalar used as a truth value: e != 0 or e != NULL.
+    Expr *Term = normTerm(E, Out);
+    if (!Term)
+      return nullptr;
+    Expr *Zero;
+    if (Term->Ty && Term->Ty->isPointer()) {
+      Zero = P.makeExpr(CExprKind::NullLit, E->Loc);
+      Zero->Ty = Term->Ty;
+    } else {
+      Zero = P.makeExpr(CExprKind::IntLit, E->Loc);
+      Zero->IntValue = 0;
+      Zero->Ty = P.Types.intType();
+    }
+    Expr *N = P.makeExpr(CExprKind::Binary, E->Loc);
+    N->BOp = BinaryOp::Ne;
+    N->Ops.push_back(Term);
+    N->Ops.push_back(Zero);
+    N->Ty = P.Types.intType();
+    return N;
+  }
+};
+
+} // namespace
+
+bool cfront::normalize(Program &P, DiagnosticEngine &Diags) {
+  Normalizer N(P, Diags);
+  return N.run();
+}
+
+std::unique_ptr<Program> cfront::frontend(std::string_view Source,
+                                          DiagnosticEngine &Diags) {
+  std::unique_ptr<Program> P = parseProgram(Source, Diags);
+  if (!P)
+    return nullptr;
+  if (!analyze(*P, Diags))
+    return nullptr;
+  if (!normalize(*P, Diags))
+    return nullptr;
+  // Re-run Sema: types the synthesized nodes and renumbers statements.
+  DiagnosticEngine Rerun;
+  if (!analyze(*P, Rerun)) {
+    // A failure here is a normalizer bug; surface it to the caller.
+    for (const Diagnostic &D : Rerun.diagnostics())
+      Diags.error(D.Loc, "internal (normalizer): " + D.Message);
+    return nullptr;
+  }
+  return P;
+}

@@ -1,0 +1,51 @@
+//===- Normalize.h - Lowering to the simple intermediate form ---*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rewrites a checked program into the paper's simple intermediate form
+/// (Section 4):
+///
+///   1. expressions are free of side effects: calls occur only at the
+///      top level of expression statements (`z = x + f(y)` becomes
+///      `t = f(y); z = x + t;`);
+///   2. no expression contains multiple dereferences of a pointer —
+///      every Deref / `->` / `[]` base is a plain variable (`**p`
+///      becomes `t = *p; ... *t`);
+///   3. conditions are boolean formulas (scalar conditions become
+///      `e != 0` / `e != NULL`), and boolean operators never appear in
+///      value positions;
+///   4. each non-void procedure has a single return statement returning
+///      a variable (synthesizing `__retval` and an `__exit` label when
+///      the source has several returns).
+///
+/// The pass introduces fresh locals `__t0, __t1, ...`; callers should
+/// re-run Sema afterwards to type the new nodes and renumber statements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFRONT_NORMALIZE_H
+#define CFRONT_NORMALIZE_H
+
+#include "cfront/AST.h"
+#include "support/Diagnostics.h"
+
+namespace slam {
+namespace cfront {
+
+/// Normalizes \p P in place. Returns false (with diagnostics) if the
+/// program uses constructs outside the normalizable subset (calls under
+/// short-circuit operators, boolean values in term positions).
+bool normalize(Program &P, DiagnosticEngine &Diags);
+
+/// Convenience front door: parse + analyze + normalize + re-analyze.
+/// Returns nullptr with diagnostics on any failure.
+std::unique_ptr<Program> frontend(std::string_view Source,
+                                  DiagnosticEngine &Diags);
+
+} // namespace cfront
+} // namespace slam
+
+#endif // CFRONT_NORMALIZE_H

@@ -1,0 +1,31 @@
+//===- Sema.h - Semantic analysis for SIL-C ---------------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and type checking. On success every Expr has a Ty,
+/// every VarRef points at its VarDecl, every Call at its FuncDecl, and
+/// every statement carries a dense program-wide id used to correlate
+/// abstract counterexamples back to C statements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFRONT_SEMA_H
+#define CFRONT_SEMA_H
+
+#include "cfront/AST.h"
+#include "support/Diagnostics.h"
+
+namespace slam {
+namespace cfront {
+
+/// Runs semantic analysis in place. Returns false (with diagnostics) on
+/// any error.
+bool analyze(Program &P, DiagnosticEngine &Diags);
+
+} // namespace cfront
+} // namespace slam
+
+#endif // CFRONT_SEMA_H

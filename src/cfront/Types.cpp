@@ -1,0 +1,79 @@
+//===- Types.cpp ----------------------------------------------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Types.h"
+
+using namespace slam;
+using namespace slam::cfront;
+
+std::string Type::str() const {
+  switch (K) {
+  case Kind::Int:
+    return "int";
+  case Kind::Void:
+    return "void";
+  case Kind::Pointer:
+    return Inner->str() + "*";
+  case Kind::Record:
+    return "struct " + Rec->Name;
+  case Kind::Array:
+    return Inner->str() + "[" + std::to_string(Size) + "]";
+  }
+  return "<type>";
+}
+
+TypeContext::TypeContext() {
+  Types.push_back(Type(Type::Kind::Int, nullptr, nullptr, 0));
+  Int = &Types.back();
+  Types.push_back(Type(Type::Kind::Void, nullptr, nullptr, 0));
+  Void = &Types.back();
+}
+
+const Type *TypeContext::pointerTo(const Type *Pointee) {
+  auto It = PointerTypes.find(Pointee);
+  if (It != PointerTypes.end())
+    return It->second;
+  Types.push_back(Type(Type::Kind::Pointer, Pointee, nullptr, 0));
+  const Type *T = &Types.back();
+  PointerTypes.emplace(Pointee, T);
+  return T;
+}
+
+const Type *TypeContext::arrayOf(const Type *Element, int64_t Size) {
+  auto Key = std::make_pair(Element, Size);
+  auto It = ArrayTypes.find(Key);
+  if (It != ArrayTypes.end())
+    return It->second;
+  Types.push_back(Type(Type::Kind::Array, Element, nullptr, Size));
+  const Type *T = &Types.back();
+  ArrayTypes.emplace(Key, T);
+  return T;
+}
+
+const Type *TypeContext::recordType(const RecordDecl *Rec) {
+  auto It = RecordTypes.find(Rec);
+  if (It != RecordTypes.end())
+    return It->second;
+  Types.push_back(Type(Type::Kind::Record, nullptr, Rec, 0));
+  const Type *T = &Types.back();
+  RecordTypes.emplace(Rec, T);
+  return T;
+}
+
+RecordDecl *TypeContext::getOrCreateRecord(const std::string &Name) {
+  auto It = RecordsByName.find(Name);
+  if (It != RecordsByName.end())
+    return It->second;
+  Records.push_back(RecordDecl{Name, {}});
+  RecordDecl *Rec = &Records.back();
+  RecordsByName.emplace(Name, Rec);
+  return Rec;
+}
+
+RecordDecl *TypeContext::findRecord(const std::string &Name) {
+  auto It = RecordsByName.find(Name);
+  return It == RecordsByName.end() ? nullptr : It->second;
+}

@@ -1,0 +1,135 @@
+//===- Types.h - SIL-C type system ------------------------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types of the analyzed C subset ("SIL-C"): int, void, pointers, named
+/// structs, and fixed-size arrays. Types are interned in a TypeContext so
+/// pointer equality is type equality. The memory model is the paper's
+/// logical model (Section 4): pointer arithmetic yields a pointer to the
+/// same object, array elements are cells of the array object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFRONT_TYPES_H
+#define CFRONT_TYPES_H
+
+#include <cassert>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace slam {
+namespace cfront {
+
+class Type;
+
+/// A named struct with ordered fields.
+struct RecordDecl {
+  std::string Name;
+  struct Field {
+    std::string Name;
+    const Type *Ty;
+  };
+  std::vector<Field> Fields;
+
+  const Field *findField(const std::string &FieldName) const {
+    for (const Field &F : Fields)
+      if (F.Name == FieldName)
+        return &F;
+    return nullptr;
+  }
+};
+
+/// An interned SIL-C type.
+class Type {
+public:
+  enum class Kind { Int, Void, Pointer, Record, Array };
+
+  Kind kind() const { return K; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isVoid() const { return K == Kind::Void; }
+  bool isPointer() const { return K == Kind::Pointer; }
+  bool isRecord() const { return K == Kind::Record; }
+  bool isArray() const { return K == Kind::Array; }
+
+  /// Scalar types can be assigned and compared: int and pointers.
+  bool isScalar() const { return isInt() || isPointer(); }
+
+  const Type *pointee() const {
+    assert(isPointer());
+    return Inner;
+  }
+
+  const Type *elementType() const {
+    assert(isArray());
+    return Inner;
+  }
+
+  int64_t arraySize() const {
+    assert(isArray());
+    return Size;
+  }
+
+  const RecordDecl *record() const {
+    assert(isRecord());
+    return Rec;
+  }
+
+  /// C-like rendering ("struct cell *", "int [10]").
+  std::string str() const;
+
+private:
+  friend class TypeContext;
+  Type(Kind K, const Type *Inner, const RecordDecl *Rec, int64_t Size)
+      : K(K), Inner(Inner), Rec(Rec), Size(Size) {}
+
+  Kind K;
+  const Type *Inner;
+  const RecordDecl *Rec;
+  int64_t Size;
+};
+
+/// Owns and interns types and record declarations.
+class TypeContext {
+public:
+  TypeContext();
+
+  const Type *intType() const { return Int; }
+  const Type *voidType() const { return Void; }
+  const Type *pointerTo(const Type *Pointee);
+  const Type *arrayOf(const Type *Element, int64_t Size);
+  const Type *recordType(const RecordDecl *Rec);
+
+  /// Creates (or returns the existing, possibly still field-less) record
+  /// named \p Name; SIL-C allows `struct cell*` before the definition.
+  RecordDecl *getOrCreateRecord(const std::string &Name);
+
+  RecordDecl *findRecord(const std::string &Name);
+
+  /// All records declared so far (stable order of first mention).
+  std::vector<const RecordDecl *> allRecords() const {
+    std::vector<const RecordDecl *> Out;
+    for (const RecordDecl &R : Records)
+      Out.push_back(&R);
+    return Out;
+  }
+
+private:
+  std::deque<Type> Types;
+  std::deque<RecordDecl> Records;
+  const Type *Int;
+  const Type *Void;
+  std::map<const Type *, const Type *> PointerTypes;
+  std::map<std::pair<const Type *, int64_t>, const Type *> ArrayTypes;
+  std::map<const RecordDecl *, const Type *> RecordTypes;
+  std::map<std::string, RecordDecl *> RecordsByName;
+};
+
+} // namespace cfront
+} // namespace slam
+
+#endif // CFRONT_TYPES_H

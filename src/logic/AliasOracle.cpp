@@ -1,0 +1,60 @@
+//===- AliasOracle.cpp ----------------------------------------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/AliasOracle.h"
+
+using namespace slam;
+using namespace slam::logic;
+
+AliasOracle::~AliasOracle() = default;
+
+void ShapeAliasOracle::anchor() {}
+
+AliasResult ShapeAliasOracle::alias(ExprRef A, ExprRef B) const {
+  assert(A->isLocation() && B->isLocation() && "alias query on non-location");
+  if (A == B)
+    return AliasResult::MustAlias;
+
+  ExprKind KA = A->kind(), KB = B->kind();
+
+  // Two distinct named variables are distinct objects.
+  if (KA == ExprKind::Var && KB == ExprKind::Var)
+    return AliasResult::NoAlias;
+
+  // Field cells are strictly inside struct objects; they can never be a
+  // whole variable or an array element in SIL-C.
+  if ((KA == ExprKind::Field) !=
+      (KB == ExprKind::Field)) {
+    ExprKind Other = KA == ExprKind::Field ? KB : KA;
+    if (Other == ExprKind::Var || Other == ExprKind::Index)
+      return AliasResult::NoAlias;
+  }
+
+  // Fields of different names occupy different offsets.
+  if (KA == ExprKind::Field && KB == ExprKind::Field) {
+    if (A->name() != B->name())
+      return AliasResult::NoAlias;
+    // Same field name: alias iff the bases denote the same object.
+    AliasResult Base = alias(A->op(0), B->op(0));
+    // A must-aliasing base pair would have made A == B (hash-consing), so
+    // the recursive result here is No or May.
+    return Base;
+  }
+
+  // Array elements live inside array objects.
+  if (KA == ExprKind::Index && KB == ExprKind::Index) {
+    ExprRef BaseA = A->op(0), BaseB = B->op(0);
+    if (BaseA->kind() == ExprKind::Var && BaseB->kind() == ExprKind::Var &&
+        BaseA != BaseB)
+      return AliasResult::NoAlias;
+    return AliasResult::MayAlias;
+  }
+  if ((KA == ExprKind::Index && KB == ExprKind::Var) ||
+      (KA == ExprKind::Var && KB == ExprKind::Index))
+    return AliasResult::NoAlias;
+
+  return AliasResult::MayAlias;
+}

@@ -1,0 +1,58 @@
+//===- AliasOracle.h - May/must alias queries for WP ------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface through which the weakest-precondition engine (and C2bp)
+/// asks alias questions about locations (Section 4.2). The `alias`
+/// library provides an implementation backed by a points-to analysis and
+/// the program's types; ShapeAliasOracle is a sound, purely syntactic
+/// fallback used when no analysis has been run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOGIC_ALIASORACLE_H
+#define LOGIC_ALIASORACLE_H
+
+#include "logic/Expr.h"
+
+namespace slam {
+namespace logic {
+
+/// Outcome of an alias query between two locations.
+enum class AliasResult {
+  NoAlias,   ///< The locations are definitely distinct cells.
+  MayAlias,  ///< Unknown; the WP must case-split on &x == &y.
+  MustAlias, ///< Definitely the same cell.
+};
+
+/// Abstract oracle. Both arguments must satisfy Expr::isLocation().
+class AliasOracle {
+public:
+  virtual ~AliasOracle();
+
+  virtual AliasResult alias(ExprRef A, ExprRef B) const = 0;
+};
+
+/// Syntactic alias rules that need no program analysis:
+///   * identical locations must-alias;
+///   * distinct named variables never alias;
+///   * fields with different names never alias;
+///   * fields never alias plain variables or array elements
+///     (SIL-C has no whole-struct assignment and no arrays in structs);
+///   * elements of distinct array variables never alias;
+///   * everything else may-alias.
+class ShapeAliasOracle : public AliasOracle {
+public:
+  AliasResult alias(ExprRef A, ExprRef B) const override;
+
+private:
+  virtual void anchor();
+};
+
+} // namespace logic
+} // namespace slam
+
+#endif // LOGIC_ALIASORACLE_H

@@ -1,0 +1,217 @@
+//===- Expr.h - Quantifier-free logic expressions ---------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The quantifier-free predicate language of the paper (Section 4):
+/// pure C boolean expressions over program variables and constants, with
+/// pointer dereference, field access, array indexing under the logical
+/// memory model, and address-of (used by Morris' axiom, Section 4.2).
+///
+/// Expressions are immutable and hash-consed inside a LogicContext, so
+/// structural equality is pointer equality and every node has a stable
+/// small integer id (assigned in creation order, hence deterministic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOGIC_EXPR_H
+#define LOGIC_EXPR_H
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace slam {
+namespace logic {
+
+class LogicContext;
+
+/// Node kinds. Terms come first, formulas second; \c Expr::isFormula()
+/// relies on this ordering.
+enum class ExprKind {
+  // Terms.
+  IntLit,  ///< Integer constant.
+  NullLit, ///< The NULL pointer constant.
+  Var,     ///< Named program variable (scalar, pointer or struct root).
+  AddrOf,  ///< &loc — address of a location.
+  Deref,   ///< *e — pointer dereference.
+  Field,   ///< e.f — field access (p->f is Field(Deref(p), f)).
+  Index,   ///< a[e] — array element, logical memory model.
+  Neg,     ///< -e.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  // Formulas.
+  BoolLit,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Not,
+  And, ///< N-ary, flattened conjunction.
+  Or,  ///< N-ary, flattened disjunction.
+};
+
+/// One immutable, interned expression node.
+class Expr {
+public:
+  ExprKind kind() const { return Kind; }
+  unsigned id() const { return Id; }
+
+  /// Integer value; valid for IntLit (and 0/1 for BoolLit).
+  int64_t intValue() const {
+    assert(Kind == ExprKind::IntLit || Kind == ExprKind::BoolLit);
+    return IntValue;
+  }
+
+  bool boolValue() const {
+    assert(Kind == ExprKind::BoolLit);
+    return IntValue != 0;
+  }
+
+  /// Variable name (Var) or field name (Field).
+  const std::string &name() const { return Name; }
+
+  const std::vector<const Expr *> &operands() const { return Ops; }
+
+  const Expr *op(unsigned I) const {
+    assert(I < Ops.size());
+    return Ops[I];
+  }
+
+  unsigned numOperands() const { return static_cast<unsigned>(Ops.size()); }
+
+  /// True for boolean-valued nodes (comparisons, connectives, BoolLit).
+  bool isFormula() const { return Kind >= ExprKind::BoolLit; }
+
+  /// True for the location shapes of Section 4.2: a variable, a field
+  /// access from a location, an array element, or a dereference.
+  bool isLocation() const {
+    switch (Kind) {
+    case ExprKind::Var:
+    case ExprKind::Deref:
+    case ExprKind::Field:
+    case ExprKind::Index:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  bool isTrue() const {
+    return Kind == ExprKind::BoolLit && IntValue != 0;
+  }
+  bool isFalse() const {
+    return Kind == ExprKind::BoolLit && IntValue == 0;
+  }
+
+  /// Number of nodes in this expression tree (memoized at creation).
+  unsigned size() const { return Size; }
+
+  /// C-like rendering; `Field(Deref(p), f)` prints as `p->f`.
+  std::string str() const;
+
+private:
+  friend class LogicContext;
+  Expr(ExprKind Kind, int64_t IntValue, std::string Name,
+       std::vector<const Expr *> Ops, unsigned Id, unsigned Size)
+      : Kind(Kind), IntValue(IntValue), Name(std::move(Name)),
+        Ops(std::move(Ops)), Id(Id), Size(Size) {}
+
+  ExprKind Kind;
+  int64_t IntValue;
+  std::string Name;
+  std::vector<const Expr *> Ops;
+  unsigned Id;
+  unsigned Size;
+};
+
+using ExprRef = const Expr *;
+
+/// Owns and interns Expr nodes. Smart constructors perform light
+/// canonicalization (constant folding, flattening of And/Or, double
+/// negation, pushing ! through comparisons) so that the weakest
+/// precondition computation produces formulas of manageable size.
+class LogicContext {
+public:
+  LogicContext();
+
+  // -- Terms --------------------------------------------------------------
+  ExprRef intLit(int64_t Value);
+  ExprRef nullLit();
+  ExprRef var(const std::string &Name);
+  ExprRef addrOf(ExprRef Loc);
+  ExprRef deref(ExprRef Ptr);
+  ExprRef field(ExprRef Base, const std::string &FieldName);
+  ExprRef index(ExprRef Base, ExprRef Idx);
+  ExprRef neg(ExprRef E);
+  ExprRef add(ExprRef L, ExprRef R);
+  ExprRef sub(ExprRef L, ExprRef R);
+  ExprRef mul(ExprRef L, ExprRef R);
+  ExprRef div(ExprRef L, ExprRef R);
+  ExprRef mod(ExprRef L, ExprRef R);
+
+  // -- Formulas -----------------------------------------------------------
+  ExprRef boolLit(bool Value);
+  ExprRef trueE() { return True; }
+  ExprRef falseE() { return False; }
+  ExprRef cmp(ExprKind Kind, ExprRef L, ExprRef R);
+  ExprRef eq(ExprRef L, ExprRef R) { return cmp(ExprKind::Eq, L, R); }
+  ExprRef ne(ExprRef L, ExprRef R) { return cmp(ExprKind::Ne, L, R); }
+  ExprRef lt(ExprRef L, ExprRef R) { return cmp(ExprKind::Lt, L, R); }
+  ExprRef le(ExprRef L, ExprRef R) { return cmp(ExprKind::Le, L, R); }
+  ExprRef gt(ExprRef L, ExprRef R) { return cmp(ExprKind::Gt, L, R); }
+  ExprRef ge(ExprRef L, ExprRef R) { return cmp(ExprKind::Ge, L, R); }
+  ExprRef notE(ExprRef E);
+  ExprRef andE(ExprRef L, ExprRef R);
+  ExprRef andE(std::vector<ExprRef> Ops);
+  ExprRef orE(ExprRef L, ExprRef R);
+  ExprRef orE(std::vector<ExprRef> Ops);
+  ExprRef implies(ExprRef L, ExprRef R) { return orE(notE(L), R); }
+
+  /// Number of distinct nodes created so far.
+  size_t numNodes() const { return Nodes.size(); }
+
+private:
+  ExprRef make(ExprKind Kind, int64_t IntValue, std::string Name,
+               std::vector<ExprRef> Ops);
+
+  struct Key {
+    ExprKind Kind;
+    int64_t IntValue;
+    std::string Name;
+    std::vector<ExprRef> Ops;
+    bool operator==(const Key &O) const {
+      return Kind == O.Kind && IntValue == O.IntValue && Name == O.Name &&
+             Ops == O.Ops;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const;
+  };
+
+  std::deque<Expr> Nodes;
+  std::unordered_map<Key, ExprRef, KeyHash> Interned;
+  ExprRef True = nullptr;
+  ExprRef False = nullptr;
+};
+
+/// Negates a comparison kind (Eq <-> Ne, Lt <-> Ge, ...).
+ExprKind negateCmp(ExprKind Kind);
+
+/// True if \p Kind is one of the six comparison kinds.
+bool isCmpKind(ExprKind Kind);
+
+} // namespace logic
+} // namespace slam
+
+#endif // LOGIC_EXPR_H

@@ -1,0 +1,34 @@
+//===- Parser.h - Parse predicate expressions -------------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the predicate language: pure C boolean expressions with no
+/// function calls (Section 4). This is what appears in predicate input
+/// files such as `curr->val > v` in Figure 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOGIC_PARSER_H
+#define LOGIC_PARSER_H
+
+#include "logic/Expr.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+
+namespace slam {
+namespace logic {
+
+/// Parses one C-like expression from \p Text. Returns nullptr after
+/// reporting to \p Diags when the text is malformed or has trailing
+/// garbage.
+ExprRef parseExpr(LogicContext &Ctx, std::string_view Text,
+                  DiagnosticEngine &Diags);
+
+} // namespace logic
+} // namespace slam
+
+#endif // LOGIC_PARSER_H

@@ -1,0 +1,123 @@
+//===- WP.cpp - Morris' axiom with alias pruning --------------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/WP.h"
+
+#include "logic/ExprUtils.h"
+
+#include <algorithm>
+
+using namespace slam;
+using namespace slam::logic;
+
+ExprRef logic::substituteLoc(LogicContext &Ctx, ExprRef E, ExprRef From,
+                             ExprRef To) {
+  if (E == From)
+    return To;
+  // &From is invariant under an assignment to From itself; occurrences of
+  // From strictly inside the operand still determine the address and are
+  // substituted (e.g. &(p->f) does change when p changes).
+  if (E->kind() == ExprKind::AddrOf && E->op(0) == From)
+    return E;
+  if (E->numOperands() == 0)
+    return E;
+  bool Changed = false;
+  std::vector<ExprRef> Ops;
+  Ops.reserve(E->numOperands());
+  for (ExprRef Op : E->operands()) {
+    ExprRef New = substituteLoc(Ctx, Op, From, To);
+    Changed |= New != Op;
+    Ops.push_back(New);
+  }
+  if (!Changed)
+    return E;
+  // Rebuild through substituteAll's machinery by delegating to the
+  // generic rebuilder: substituting nothing reconstructs with new ops.
+  // We inline the relevant cases instead for clarity.
+  switch (E->kind()) {
+  case ExprKind::AddrOf:
+    return Ctx.addrOf(Ops[0]);
+  case ExprKind::Deref:
+    return Ctx.deref(Ops[0]);
+  case ExprKind::Field:
+    return Ctx.field(Ops[0], E->name());
+  case ExprKind::Index:
+    return Ctx.index(Ops[0], Ops[1]);
+  case ExprKind::Neg:
+    return Ctx.neg(Ops[0]);
+  case ExprKind::Add:
+    return Ctx.add(Ops[0], Ops[1]);
+  case ExprKind::Sub:
+    return Ctx.sub(Ops[0], Ops[1]);
+  case ExprKind::Mul:
+    return Ctx.mul(Ops[0], Ops[1]);
+  case ExprKind::Div:
+    return Ctx.div(Ops[0], Ops[1]);
+  case ExprKind::Mod:
+    return Ctx.mod(Ops[0], Ops[1]);
+  case ExprKind::Eq:
+  case ExprKind::Ne:
+  case ExprKind::Lt:
+  case ExprKind::Le:
+  case ExprKind::Gt:
+  case ExprKind::Ge:
+    return Ctx.cmp(E->kind(), Ops[0], Ops[1]);
+  case ExprKind::Not:
+    return Ctx.notE(Ops[0]);
+  case ExprKind::And:
+    return Ctx.andE(std::move(Ops));
+  case ExprKind::Or:
+    return Ctx.orE(std::move(Ops));
+  default:
+    assert(false && "leaf kinds handled above");
+    return E;
+  }
+}
+
+ExprRef WPEngine::guardEq(ExprRef A, ExprRef B) const {
+  if (A == B)
+    return Ctx.trueE();
+  // Same array, symbolic indices: the cells coincide iff the indices do.
+  if (A->kind() == ExprKind::Index && B->kind() == ExprKind::Index &&
+      A->op(0) == B->op(0))
+    return Ctx.eq(A->op(1), B->op(1));
+  // Fields with the same name coincide iff their bases do.
+  if (A->kind() == ExprKind::Field && B->kind() == ExprKind::Field &&
+      A->name() == B->name())
+    return guardEq(A->op(0), B->op(0));
+  // General case: compare addresses. addrOf folds &*p to p, so
+  // *p vs. x renders as p == &x and *p vs. *q as p == q.
+  return Ctx.eq(Ctx.addrOf(A), Ctx.addrOf(B));
+}
+
+ExprRef WPEngine::assignment(ExprRef Lhs, ExprRef Rhs, ExprRef Phi) const {
+  assert(Lhs->isLocation() && "assignment target must be a location");
+
+  // Locations mentioned in phi, largest first so that enclosing
+  // locations (p->val) are resolved before their sub-locations (p).
+  std::vector<ExprRef> Locs = collectLocations(Phi);
+  std::stable_sort(Locs.begin(), Locs.end(),
+                   [](ExprRef A, ExprRef B) { return A->size() > B->size(); });
+
+  ExprRef Result = Phi;
+  for (ExprRef Y : Locs) {
+    switch (Alias.alias(Lhs, Y)) {
+    case AliasResult::NoAlias:
+      break; // This pair's disjunct is pruned entirely.
+    case AliasResult::MustAlias:
+      Result = substituteLoc(Ctx, Result, Y, Rhs);
+      break;
+    case AliasResult::MayAlias: {
+      ExprRef G = guardEq(Lhs, Y);
+      ExprRef Then = Ctx.andE(G, substituteLoc(Ctx, Result, Y, Rhs));
+      ExprRef Else = Ctx.andE(Ctx.notE(G), Result);
+      Result = Ctx.orE(Then, Else);
+      break;
+    }
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,60 @@
+//===- WP.h - Weakest liberal preconditions ---------------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Weakest liberal precondition of assignments (Sections 4.1 and 4.2).
+/// For a scalar target, WP(x = e, phi) = phi[e/x]. In the presence of
+/// pointers we adapt Morris' general axiom of assignment: for each
+/// location y mentioned in phi that may alias the target x,
+///
+///   phi[x,e,y] = (&x == &y && phi[e/y]) || (&x != &y && phi)
+///
+/// and WP is the sequential composition over all such y. The alias
+/// oracle prunes the disjuncts: no-alias pairs are skipped outright and
+/// must-alias pairs substitute unconditionally, which is the optimization
+/// the paper attributes to Das's points-to analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOGIC_WP_H
+#define LOGIC_WP_H
+
+#include "logic/AliasOracle.h"
+#include "logic/Expr.h"
+
+namespace slam {
+namespace logic {
+
+/// Computes weakest preconditions against a fixed alias oracle.
+class WPEngine {
+public:
+  WPEngine(LogicContext &Ctx, const AliasOracle &Alias)
+      : Ctx(Ctx), Alias(Alias) {}
+
+  /// WP of the assignment `Lhs = Rhs;` with respect to \p Phi.
+  /// \p Lhs must be a location.
+  ExprRef assignment(ExprRef Lhs, ExprRef Rhs, ExprRef Phi) const;
+
+  /// The formula meaning &A == &B, specialized so the prover can decide
+  /// it: same-array index guards become index equalities, *p vs. x
+  /// becomes p == &x, and so on.
+  ExprRef guardEq(ExprRef A, ExprRef B) const;
+
+private:
+  LogicContext &Ctx;
+  const AliasOracle &Alias;
+};
+
+/// Substitution that respects address-of: occurrences of the location
+/// \p From are replaced by \p To everywhere except when From is the
+/// entire operand of an AddrOf (the address of a cell is unaffected by
+/// assigning to the cell).
+ExprRef substituteLoc(LogicContext &Ctx, ExprRef E, ExprRef From, ExprRef To);
+
+} // namespace logic
+} // namespace slam
+
+#endif // LOGIC_WP_H

@@ -1,0 +1,132 @@
+//===- CongruenceClosure.cpp ----------------------------------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prover/CongruenceClosure.h"
+
+#include <deque>
+
+using namespace slam;
+using namespace slam::prover;
+using logic::ExprKind;
+using logic::ExprRef;
+
+int CongruenceClosure::addTerm(ExprRef E) {
+  auto It = Ids.find(E);
+  if (It != Ids.end())
+    return It->second;
+
+  std::vector<int> Kids;
+  Kids.reserve(E->numOperands());
+  for (ExprRef Op : E->operands())
+    Kids.push_back(addTerm(Op));
+
+  int Id = static_cast<int>(Exprs.size());
+  Exprs.push_back(E);
+  Children.push_back(Kids);
+  Parent.push_back(Id);
+  Rank.push_back(0);
+  Uses.emplace_back();
+  Ids.emplace(E, Id);
+
+  for (int Kid : Kids)
+    Uses[find(Kid)].push_back(Id);
+
+  // Congruence at creation: if a term with the same signature already
+  // exists, the two are equal.
+  std::string Sig = signatureOf(Id);
+  auto [SigIt, Inserted] = Signatures.emplace(Sig, Id);
+  if (!Inserted && !areEqual(SigIt->second, Id))
+    mergeClasses(SigIt->second, Id);
+  return Id;
+}
+
+int CongruenceClosure::find(int A) {
+  while (Parent[A] != A) {
+    Parent[A] = Parent[Parent[A]];
+    A = Parent[A];
+  }
+  return A;
+}
+
+std::string CongruenceClosure::signatureOf(int Id) {
+  ExprRef E = Exprs[Id];
+  std::string Sig = std::to_string(static_cast<int>(E->kind()));
+  Sig += '#';
+  if (E->kind() == ExprKind::IntLit || E->kind() == ExprKind::BoolLit)
+    Sig += std::to_string(E->intValue());
+  Sig += E->name();
+  // Leaves are their own unique signatures; keying them by expression id
+  // keeps distinct variables in distinct classes.
+  if (Children[Id].empty() && E->kind() != ExprKind::IntLit &&
+      E->kind() != ExprKind::NullLit && E->kind() != ExprKind::BoolLit)
+    Sig += "@" + std::to_string(Id);
+  for (int Kid : Children[Id]) {
+    Sig += ',';
+    Sig += std::to_string(find(Kid));
+  }
+  return Sig;
+}
+
+bool CongruenceClosure::mergeClasses(int A, int B) {
+  std::deque<std::pair<int, int>> Pending;
+  Pending.emplace_back(A, B);
+
+  while (!Pending.empty()) {
+    auto [X, Y] = Pending.front();
+    Pending.pop_front();
+    int RX = find(X), RY = find(Y);
+    if (RX == RY)
+      continue;
+    if (Rank[RX] < Rank[RY])
+      std::swap(RX, RY);
+    else if (Rank[RX] == Rank[RY])
+      ++Rank[RX];
+
+    // RY joins RX. Any term using a member of RY changes signature.
+    std::vector<int> Affected = std::move(Uses[RY]);
+    Uses[RY].clear();
+    for (int Term : Affected)
+      Signatures.erase(signatureOf(Term));
+    Parent[RY] = RX;
+    for (int Term : Affected) {
+      std::string Sig = signatureOf(Term);
+      auto [It, Inserted] = Signatures.emplace(Sig, Term);
+      if (!Inserted && !areEqual(It->second, Term))
+        Pending.emplace_back(It->second, Term);
+      Uses[RX].push_back(Term);
+    }
+  }
+  return checkDisequalities();
+}
+
+bool CongruenceClosure::checkDisequalities() {
+  for (const auto &[A, B] : Disequalities) {
+    if (find(A) == find(B)) {
+      Conflict = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CongruenceClosure::assertEqual(int A, int B) {
+  if (Conflict)
+    return false;
+  if (find(A) == find(B))
+    return checkDisequalities();
+  return mergeClasses(A, B);
+}
+
+bool CongruenceClosure::assertDisequal(int A, int B) {
+  if (Conflict)
+    return false;
+  Disequalities.emplace_back(A, B);
+  if (find(A) == find(B)) {
+    Conflict = true;
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,78 @@
+//===- CongruenceClosure.h - EUF decision procedure -------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Congruence closure over uninterpreted terms — the equality half of the
+/// Nelson–Oppen combination (Section 4.1 relies on a prover for the
+/// theory of equality with uninterpreted functions plus linear
+/// arithmetic). Terms are logic::Expr nodes; every operator (including
+/// the arithmetic ones, which the Simplex side interprets) is treated as
+/// an uninterpreted function here, which is sound and lets congruence
+/// derive facts like p == q  ==>  p->f == q->f — exactly the
+/// contrapositive aliasing rule of the paper's footnote 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROVER_CONGRUENCECLOSURE_H
+#define PROVER_CONGRUENCECLOSURE_H
+
+#include "logic/Expr.h"
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace slam {
+namespace prover {
+
+/// Union-find based congruence closure with use-lists.
+class CongruenceClosure {
+public:
+  /// Registers \p E (and its subterms) and returns its node id. Adding
+  /// the same expression twice returns the same id.
+  int addTerm(logic::ExprRef E);
+
+  /// Asserts A == B and propagates congruence. Returns false if this
+  /// contradicts an asserted disequality.
+  bool assertEqual(int A, int B);
+
+  /// Asserts A != B. Returns false if A and B are already equal.
+  bool assertDisequal(int A, int B);
+
+  bool areEqual(int A, int B) { return find(A) == find(B); }
+
+  /// Representative node id of A's class.
+  int find(int A);
+
+  int numTerms() const { return static_cast<int>(Exprs.size()); }
+
+  logic::ExprRef exprOf(int Id) const { return Exprs[Id]; }
+
+  /// True if some asserted disequality has been violated.
+  bool inConflict() const { return Conflict; }
+
+private:
+  std::string signatureOf(int Id);
+  bool mergeClasses(int A, int B);
+  bool checkDisequalities();
+
+  std::vector<logic::ExprRef> Exprs;
+  std::vector<std::vector<int>> Children;
+  std::vector<int> Parent; // Union-find parent links.
+  std::vector<int> Rank;
+  /// Terms that have a child in a given class representative.
+  std::vector<std::vector<int>> Uses;
+  std::unordered_map<logic::ExprRef, int> Ids;
+  std::map<std::string, int> Signatures;
+  std::vector<std::pair<int, int>> Disequalities;
+  bool Conflict = false;
+};
+
+} // namespace prover
+} // namespace slam
+
+#endif // PROVER_CONGRUENCECLOSURE_H

@@ -1,0 +1,176 @@
+//===- Prover.cpp - Lazy SMT over the predicate logic ---------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prover/Prover.h"
+
+#include "prover/Sat.h"
+#include "prover/Theory.h"
+
+#include <map>
+
+using namespace slam;
+using namespace slam::prover;
+using logic::ExprKind;
+using logic::ExprRef;
+
+namespace {
+
+/// Tseitin encoder from formulas to CNF over atom variables.
+class SkeletonEncoder {
+public:
+  explicit SkeletonEncoder(SatSolver &Solver) : Solver(Solver) {}
+
+  /// Returns the literal representing \p E.
+  int encode(ExprRef E) {
+    switch (E->kind()) {
+    case ExprKind::BoolLit:
+      return E->boolValue() ? constantTrue() : -constantTrue();
+    case ExprKind::Not:
+      return -encode(E->op(0));
+    case ExprKind::And:
+    case ExprKind::Or: {
+      bool IsAnd = E->kind() == ExprKind::And;
+      std::vector<int> Lits;
+      Lits.reserve(E->numOperands());
+      for (ExprRef Op : E->operands())
+        Lits.push_back(encode(Op));
+      int Aux = Solver.newVar() + 1;
+      std::vector<int> Big;
+      Big.push_back(IsAnd ? Aux : -Aux);
+      for (int Lit : Lits) {
+        Solver.addClause(IsAnd ? std::vector<int>{-Aux, Lit}
+                               : std::vector<int>{Aux, -Lit});
+        Big.push_back(IsAnd ? -Lit : Lit);
+      }
+      Solver.addClause(std::move(Big));
+      return Aux;
+    }
+    default:
+      assert(logic::isCmpKind(E->kind()) && "formula leaf must be an atom");
+      return atomLit(E);
+    }
+  }
+
+  const std::map<ExprRef, int> &atoms() const { return Atoms; }
+
+private:
+  int constantTrue() {
+    if (TrueVar < 0) {
+      TrueVar = Solver.newVar();
+      Solver.addClause({TrueVar + 1});
+    }
+    return TrueVar + 1;
+  }
+
+  int atomLit(ExprRef Atom) {
+    auto It = Atoms.find(Atom);
+    if (It != Atoms.end())
+      return It->second + 1;
+    int Var = Solver.newVar();
+    Atoms.emplace(Atom, Var);
+    return Var + 1;
+  }
+
+  SatSolver &Solver;
+  std::map<ExprRef, int> Atoms;
+  int TrueVar = -1;
+};
+
+/// Greedy unsat-core minimization: drop literals whose removal keeps the
+/// conjunction unsatisfiable. Produces much stronger blocking clauses
+/// than blocking the full model.
+std::vector<Literal> minimizeCore(std::vector<Literal> Core) {
+  if (Core.size() > 24)
+    return Core; // Too expensive to shrink; block the full model.
+  for (size_t I = 0; I < Core.size();) {
+    std::vector<Literal> Without;
+    Without.reserve(Core.size() - 1);
+    for (size_t J = 0; J != Core.size(); ++J)
+      if (J != I)
+        Without.push_back(Core[J]);
+    if (checkConjunction(Without) == TheoryResult::Unsat)
+      Core = std::move(Without);
+    else
+      ++I;
+  }
+  return Core;
+}
+
+} // namespace
+
+Satisfiability Prover::checkSatUncached(ExprRef Phi) {
+  SatSolver Solver;
+  SkeletonEncoder Encoder(Solver);
+  int Root = Encoder.encode(Phi);
+  Solver.addClause({Root});
+
+  bool SawUnknownModel = false;
+  for (int Iteration = 0; Iteration != 20000; ++Iteration) {
+    if (Solver.solve() == SatSolver::Result::Unsat)
+      return SawUnknownModel ? Satisfiability::Unknown : Satisfiability::Unsat;
+
+    std::vector<Literal> Lits;
+    Lits.reserve(Encoder.atoms().size());
+    for (const auto &[Atom, Var] : Encoder.atoms())
+      Lits.push_back({Atom, Solver.modelValue(Var)});
+
+    TheoryResult TR = checkConjunction(Lits);
+    if (TR == TheoryResult::Sat)
+      return Satisfiability::Sat;
+    if (TR == TheoryResult::Unknown)
+      SawUnknownModel = true;
+
+    std::vector<Literal> Core =
+        TR == TheoryResult::Unsat ? minimizeCore(Lits) : Lits;
+    std::vector<int> Blocking;
+    Blocking.reserve(Core.size());
+    for (const Literal &L : Core) {
+      int Var = Encoder.atoms().at(L.Atom);
+      Blocking.push_back(L.Positive ? -(Var + 1) : (Var + 1));
+    }
+    Solver.addClause(std::move(Blocking));
+  }
+  return Satisfiability::Unknown;
+}
+
+Satisfiability Prover::checkSat(ExprRef Phi) {
+  assert(Phi->isFormula() && "checkSat takes a formula");
+  if (Phi->isTrue())
+    return Satisfiability::Sat;
+  if (Phi->isFalse())
+    return Satisfiability::Unsat;
+
+  if (CachingEnabled) {
+    auto It = Cache.find(Phi);
+    if (It != Cache.end()) {
+      ++NumCacheHits;
+      if (Stats)
+        Stats->add("prover.cache_hits");
+      return It->second;
+    }
+  }
+
+  ++NumCalls;
+  if (Stats)
+    Stats->add("prover.calls");
+  Satisfiability Result = checkSatUncached(Phi);
+  if (CachingEnabled)
+    Cache.emplace(Phi, Result);
+  return Result;
+}
+
+Validity Prover::implies(ExprRef Antecedent, ExprRef Consequent) {
+  ExprRef Query = Ctx.andE(Antecedent, Ctx.notE(Consequent));
+  switch (checkSat(Query)) {
+  case Satisfiability::Unsat:
+    return Validity::Valid;
+  case Satisfiability::Sat:
+    return Validity::Invalid;
+  case Satisfiability::Unknown:
+    return Validity::Unknown;
+  }
+  return Validity::Unknown;
+}

@@ -1,0 +1,148 @@
+//===- Rational.h - Exact rational arithmetic -------------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rationals over 64-bit integers (with 128-bit intermediates) for
+/// the Simplex-based linear-arithmetic decision procedure. Program
+/// constants are tiny, so this range is ample; overflow would indicate a
+/// malformed query and is caught by assertions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROVER_RATIONAL_H
+#define PROVER_RATIONAL_H
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <string>
+
+namespace slam {
+namespace prover {
+
+/// An exact rational number num/den with den > 0, always normalized.
+class Rational {
+public:
+  Rational() : Num(0), Den(1) {}
+  Rational(int64_t Value) : Num(Value), Den(1) {}
+  Rational(int64_t Num, int64_t Den) : Num(Num), Den(Den) { normalize(); }
+
+  int64_t num() const { return Num; }
+  int64_t den() const { return Den; }
+
+  bool isInteger() const { return Den == 1; }
+  bool isZero() const { return Num == 0; }
+  bool isNegative() const { return Num < 0; }
+  bool isPositive() const { return Num > 0; }
+
+  /// Largest integer <= this.
+  int64_t floor() const {
+    if (Num >= 0)
+      return Num / Den;
+    return -((-Num + Den - 1) / Den);
+  }
+
+  /// Smallest integer >= this.
+  int64_t ceil() const { return -(-*this).floor(); }
+
+  Rational operator-() const { return fromRaw(-Num, Den); }
+
+  Rational operator+(const Rational &O) const {
+    __int128 N = (__int128)Num * O.Den + (__int128)O.Num * Den;
+    __int128 D = (__int128)Den * O.Den;
+    return fromWide(N, D);
+  }
+
+  Rational operator-(const Rational &O) const { return *this + (-O); }
+
+  Rational operator*(const Rational &O) const {
+    __int128 N = (__int128)Num * O.Num;
+    __int128 D = (__int128)Den * O.Den;
+    return fromWide(N, D);
+  }
+
+  Rational operator/(const Rational &O) const {
+    assert(!O.isZero() && "division by zero");
+    __int128 N = (__int128)Num * O.Den;
+    __int128 D = (__int128)Den * O.Num;
+    if (D < 0) {
+      N = -N;
+      D = -D;
+    }
+    return fromWide(N, D);
+  }
+
+  Rational &operator+=(const Rational &O) { return *this = *this + O; }
+  Rational &operator-=(const Rational &O) { return *this = *this - O; }
+  Rational &operator*=(const Rational &O) { return *this = *this * O; }
+
+  bool operator==(const Rational &O) const {
+    return Num == O.Num && Den == O.Den;
+  }
+  bool operator!=(const Rational &O) const { return !(*this == O); }
+  bool operator<(const Rational &O) const {
+    return (__int128)Num * O.Den < (__int128)O.Num * Den;
+  }
+  bool operator<=(const Rational &O) const { return !(O < *this); }
+  bool operator>(const Rational &O) const { return O < *this; }
+  bool operator>=(const Rational &O) const { return !(*this < O); }
+
+  std::string str() const {
+    if (Den == 1)
+      return std::to_string(Num);
+    return std::to_string(Num) + "/" + std::to_string(Den);
+  }
+
+private:
+  static Rational fromRaw(int64_t Num, int64_t Den) {
+    Rational R;
+    R.Num = Num;
+    R.Den = Den;
+    return R;
+  }
+
+  static Rational fromWide(__int128 N, __int128 D) {
+    assert(D > 0 && "denominator must be positive");
+    __int128 G = gcdWide(N < 0 ? -N : N, D);
+    if (G > 1) {
+      N /= G;
+      D /= G;
+    }
+    assert(N >= INT64_MIN && N <= INT64_MAX && D <= INT64_MAX &&
+           "rational overflow");
+    return fromRaw(static_cast<int64_t>(N), static_cast<int64_t>(D));
+  }
+
+  static __int128 gcdWide(__int128 A, __int128 B) {
+    while (B != 0) {
+      __int128 T = A % B;
+      A = B;
+      B = T;
+    }
+    return A == 0 ? 1 : A;
+  }
+
+  void normalize() {
+    assert(Den != 0 && "zero denominator");
+    if (Den < 0) {
+      Num = -Num;
+      Den = -Den;
+    }
+    int64_t G = std::gcd(Num < 0 ? -Num : Num, Den);
+    if (G > 1) {
+      Num /= G;
+      Den /= G;
+    }
+  }
+
+  int64_t Num;
+  int64_t Den;
+};
+
+} // namespace prover
+} // namespace slam
+
+#endif // PROVER_RATIONAL_H

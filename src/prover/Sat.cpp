@@ -1,0 +1,94 @@
+//===- Sat.cpp - DPLL with unit propagation --------------------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prover/Sat.h"
+
+#include <cassert>
+
+using namespace slam;
+using namespace slam::prover;
+
+void SatSolver::addClause(std::vector<int> Literals) {
+  if (Literals.empty()) {
+    TriviallyUnsat = true;
+    return;
+  }
+  for (int Lit : Literals) {
+    assert(Lit != 0 && "literals are +-(var+1)");
+    int Var = (Lit > 0 ? Lit : -Lit) - 1;
+    assert(Var < NumVars && "literal references unknown variable");
+    (void)Var;
+  }
+  Clauses.push_back(std::move(Literals));
+}
+
+bool SatSolver::propagate(std::vector<signed char> &Assign) const {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const std::vector<int> &Clause : Clauses) {
+      int FreeCount = 0;
+      int LastFree = 0;
+      bool Satisfied = false;
+      for (int Lit : Clause) {
+        int Var = (Lit > 0 ? Lit : -Lit) - 1;
+        signed char Val = Assign[Var];
+        if (Val == Unassigned) {
+          ++FreeCount;
+          LastFree = Lit;
+          continue;
+        }
+        if ((Val == True) == (Lit > 0)) {
+          Satisfied = true;
+          break;
+        }
+      }
+      if (Satisfied)
+        continue;
+      if (FreeCount == 0)
+        return false; // Conflict.
+      if (FreeCount == 1) {
+        int Var = (LastFree > 0 ? LastFree : -LastFree) - 1;
+        Assign[Var] = LastFree > 0 ? True : False;
+        Changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+bool SatSolver::search(std::vector<signed char> &Assign) const {
+  if (!propagate(Assign))
+    return false;
+  int Branch = -1;
+  for (int Var = 0; Var != NumVars; ++Var) {
+    if (Assign[Var] == Unassigned) {
+      Branch = Var;
+      break;
+    }
+  }
+  if (Branch < 0)
+    return true;
+  for (signed char Value : {True, False}) {
+    std::vector<signed char> Saved = Assign;
+    Saved[Branch] = Value;
+    if (search(Saved)) {
+      Assign = std::move(Saved);
+      return true;
+    }
+  }
+  return false;
+}
+
+SatSolver::Result SatSolver::solve() {
+  if (TriviallyUnsat)
+    return Result::Unsat;
+  std::vector<signed char> Assign(NumVars, Unassigned);
+  if (!search(Assign))
+    return Result::Unsat;
+  Model = std::move(Assign);
+  return Result::Sat;
+}

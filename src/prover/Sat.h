@@ -1,0 +1,56 @@
+//===- Sat.h - Propositional satisfiability ---------------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small DPLL SAT solver used as the boolean-skeleton enumerator of the
+/// lazy-SMT loop in Prover. Queries produced by the abstraction are tiny
+/// (a cube plus one weakest precondition), so unit propagation with
+/// chronological backtracking is entirely adequate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROVER_SAT_H
+#define PROVER_SAT_H
+
+#include <vector>
+
+namespace slam {
+namespace prover {
+
+/// Literals are encoded as +-(var+1); variables are dense indices.
+class SatSolver {
+public:
+  int newVar() { return NumVars++; }
+
+  /// Adds a clause (disjunction of literals). An empty clause makes the
+  /// instance trivially unsatisfiable.
+  void addClause(std::vector<int> Literals);
+
+  enum class Result { Sat, Unsat };
+
+  /// Solves from scratch; clauses persist across calls, so callers can
+  /// add blocking clauses and re-solve.
+  Result solve();
+
+  /// After a Sat solve(), the value of \p Var in the model.
+  bool modelValue(int Var) const { return Model[Var] == 1; }
+
+private:
+  enum : signed char { Unassigned = -1, False = 0, True = 1 };
+
+  bool propagate(std::vector<signed char> &Assign) const;
+  bool search(std::vector<signed char> &Assign) const;
+
+  int NumVars = 0;
+  std::vector<std::vector<int>> Clauses;
+  bool TriviallyUnsat = false;
+  std::vector<signed char> Model;
+};
+
+} // namespace prover
+} // namespace slam
+
+#endif // PROVER_SAT_H

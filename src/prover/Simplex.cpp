@@ -1,0 +1,260 @@
+//===- Simplex.cpp - Dutertre–de Moura general simplex --------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prover/Simplex.h"
+
+#include <cassert>
+
+using namespace slam;
+using namespace slam::prover;
+
+int Simplex::newVar(bool Integer) {
+  int Var = numVars();
+  Lower.emplace_back();
+  Upper.emplace_back();
+  Assignment.emplace_back(0);
+  IsInteger.push_back(Integer);
+  IsBasic.push_back(false);
+  return Var;
+}
+
+int Simplex::defineVar(const LinearExpr &Definition, bool Integer) {
+  // Expand any basic variables in the definition so the row mentions
+  // only nonbasic variables, and compute the initial assignment.
+  LinearExpr Row;
+  auto Accumulate = [&Row](int Var, const Rational &Coeff) {
+    Rational &Slot = Row[Var];
+    Slot += Coeff;
+    if (Slot.isZero())
+      Row.erase(Var);
+  };
+  for (const auto &[Var, Coeff] : Definition) {
+    if (Coeff.isZero())
+      continue;
+    if (IsBasic[Var]) {
+      for (const auto &[Sub, SubCoeff] : Rows[Var])
+        Accumulate(Sub, Coeff * SubCoeff);
+    } else {
+      Accumulate(Var, Coeff);
+    }
+  }
+  int Var = newVar(Integer);
+  Rational Value(0);
+  for (const auto &[Sub, Coeff] : Row)
+    Value += Coeff * Assignment[Sub];
+  Assignment[Var] = Value;
+  IsBasic[Var] = true;
+  Rows.emplace(Var, std::move(Row));
+  return Var;
+}
+
+bool Simplex::assertLower(int Var, const Rational &Bound) {
+  if (Lower[Var] && *Lower[Var] >= Bound)
+    return true; // Not a tightening.
+  if (Upper[Var] && Bound > *Upper[Var])
+    return false;
+  Lower[Var] = Bound;
+  if (!IsBasic[Var] && Assignment[Var] < Bound) {
+    // Move the nonbasic variable onto its new bound and ripple the
+    // change through every dependent basic variable.
+    Rational Delta = Bound - Assignment[Var];
+    for (auto &[Basic, Row] : Rows) {
+      auto It = Row.find(Var);
+      if (It != Row.end())
+        Assignment[Basic] += It->second * Delta;
+    }
+    Assignment[Var] = Bound;
+  }
+  return true;
+}
+
+bool Simplex::assertUpper(int Var, const Rational &Bound) {
+  if (Upper[Var] && *Upper[Var] <= Bound)
+    return true;
+  if (Lower[Var] && Bound < *Lower[Var])
+    return false;
+  Upper[Var] = Bound;
+  if (!IsBasic[Var] && Assignment[Var] > Bound) {
+    Rational Delta = Bound - Assignment[Var];
+    for (auto &[Basic, Row] : Rows) {
+      auto It = Row.find(Var);
+      if (It != Row.end())
+        Assignment[Basic] += It->second * Delta;
+    }
+    Assignment[Var] = Bound;
+  }
+  return true;
+}
+
+void Simplex::pivot(int Basic, int NonBasic) {
+  LinearExpr Row = std::move(Rows[Basic]);
+  Rows.erase(Basic);
+  Rational A = Row[NonBasic];
+  assert(!A.isZero() && "pivot coefficient must be nonzero");
+
+  // NonBasic = (Basic - sum_{j != NonBasic} c_j * y_j) / A.
+  LinearExpr NewRow;
+  NewRow[Basic] = Rational(1) / A;
+  for (const auto &[Var, Coeff] : Row) {
+    if (Var == NonBasic)
+      continue;
+    NewRow[Var] = -(Coeff / A);
+  }
+
+  IsBasic[Basic] = false;
+  IsBasic[NonBasic] = true;
+
+  // Substitute NonBasic out of every other row.
+  for (auto &[OtherBasic, OtherRow] : Rows) {
+    auto It = OtherRow.find(NonBasic);
+    if (It == OtherRow.end())
+      continue;
+    Rational C = It->second;
+    OtherRow.erase(It);
+    for (const auto &[Var, Coeff] : NewRow) {
+      Rational &Slot = OtherRow[Var];
+      Slot += C * Coeff;
+      if (Slot.isZero())
+        OtherRow.erase(Var);
+    }
+  }
+  Rows.emplace(NonBasic, std::move(NewRow));
+}
+
+void Simplex::pivotAndUpdate(int Basic, int NonBasic,
+                             const Rational &NewValue) {
+  Rational A = Rows[Basic][NonBasic];
+  Rational Theta = (NewValue - Assignment[Basic]) / A;
+  Assignment[Basic] = NewValue;
+  Assignment[NonBasic] += Theta;
+  for (const auto &[OtherBasic, Row] : Rows) {
+    if (OtherBasic == Basic)
+      continue;
+    auto It = Row.find(NonBasic);
+    if (It != Row.end())
+      Assignment[OtherBasic] += It->second * Theta;
+  }
+  pivot(Basic, NonBasic);
+}
+
+LinResult Simplex::checkRational() {
+  for (;;) {
+    // Bland's rule: smallest-index violating basic variable.
+    int Violating = -1;
+    bool BelowLower = false;
+    for (const auto &[Basic, Row] : Rows) {
+      (void)Row;
+      if (Lower[Basic] && Assignment[Basic] < *Lower[Basic]) {
+        Violating = Basic;
+        BelowLower = true;
+        break;
+      }
+      if (Upper[Basic] && Assignment[Basic] > *Upper[Basic]) {
+        Violating = Basic;
+        BelowLower = false;
+        break;
+      }
+    }
+    if (Violating < 0)
+      return LinResult::Sat;
+
+    const LinearExpr &Row = Rows[Violating];
+    int Pivot = -1;
+    for (const auto &[Var, Coeff] : Row) {
+      bool CanIncrease = !Upper[Var] || Assignment[Var] < *Upper[Var];
+      bool CanDecrease = !Lower[Var] || Assignment[Var] > *Lower[Var];
+      bool Suitable = BelowLower
+                          ? ((Coeff.isPositive() && CanIncrease) ||
+                             (Coeff.isNegative() && CanDecrease))
+                          : ((Coeff.isPositive() && CanDecrease) ||
+                             (Coeff.isNegative() && CanIncrease));
+      if (Suitable && (Pivot < 0 || Var < Pivot))
+        Pivot = Var;
+    }
+    if (Pivot < 0)
+      return LinResult::Unsat;
+    Rational Target =
+        BelowLower ? *Lower[Violating] : *Upper[Violating];
+    pivotAndUpdate(Violating, Pivot, Target);
+  }
+}
+
+LinResult Simplex::branchAndBound(int &NodeBudget) {
+  if (NodeBudget-- <= 0)
+    return LinResult::Unknown;
+
+  LinResult Relaxed = checkRational();
+  if (Relaxed != LinResult::Sat)
+    return Relaxed;
+
+  // Find an integer variable with a fractional value.
+  int Fractional = -1;
+  for (int Var = 0; Var != numVars(); ++Var) {
+    if (IsInteger[Var] && !Assignment[Var].isInteger()) {
+      Fractional = Var;
+      break;
+    }
+  }
+  if (Fractional < 0)
+    return LinResult::Sat;
+
+  int64_t Floor = Assignment[Fractional].floor();
+  bool SawUnknown = false;
+
+  {
+    Simplex Down(*this);
+    if (Down.assertUpper(Fractional, Rational(Floor))) {
+      LinResult R = Down.branchAndBound(NodeBudget);
+      if (R == LinResult::Sat) {
+        *this = std::move(Down);
+        return LinResult::Sat;
+      }
+      SawUnknown |= R == LinResult::Unknown;
+    }
+  }
+  {
+    Simplex Up(*this);
+    if (Up.assertLower(Fractional, Rational(Floor + 1))) {
+      LinResult R = Up.branchAndBound(NodeBudget);
+      if (R == LinResult::Sat) {
+        *this = std::move(Up);
+        return LinResult::Sat;
+      }
+      SawUnknown |= R == LinResult::Unknown;
+    }
+  }
+  return SawUnknown ? LinResult::Unknown : LinResult::Unsat;
+}
+
+LinResult Simplex::check(int NodeBudget) {
+  return branchAndBound(NodeBudget);
+}
+
+Rational Simplex::value(int Var) const { return Assignment[Var]; }
+
+LinResult Simplex::probeUpper(const LinearExpr &Expr, const Rational &Bound,
+                              int NodeBudget) const {
+  Simplex Probe(*this);
+  bool Integral = true;
+  for (const auto &[Var, Coeff] : Expr)
+    Integral &= Probe.IsInteger[Var] && Coeff.isInteger();
+  int Slack = Probe.defineVar(Expr, Integral);
+  if (!Probe.assertUpper(Slack, Bound))
+    return LinResult::Unsat;
+  return Probe.check(NodeBudget);
+}
+
+LinResult Simplex::probeLower(const LinearExpr &Expr, const Rational &Bound,
+                              int NodeBudget) const {
+  Simplex Probe(*this);
+  bool Integral = true;
+  for (const auto &[Var, Coeff] : Expr)
+    Integral &= Probe.IsInteger[Var] && Coeff.isInteger();
+  int Slack = Probe.defineVar(Expr, Integral);
+  if (!Probe.assertLower(Slack, Bound))
+    return LinResult::Unsat;
+  return Probe.check(NodeBudget);
+}

@@ -1,0 +1,94 @@
+//===- Simplex.h - Linear integer arithmetic solver -------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A general Simplex solver in the style of Dutertre & de Moura ("A Fast
+/// Linear-Arithmetic Solver for DPLL(T)"): variables with optional lower
+/// and upper bounds, a tableau of basic-variable definitions, Bland's
+/// rule for termination, plus branch-and-bound over the rational
+/// relaxation for integer feasibility. This is the arithmetic half of
+/// the Nelson–Oppen prover the paper obtains from Simplify/Vampyre.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROVER_SIMPLEX_H
+#define PROVER_SIMPLEX_H
+
+#include "prover/Rational.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace slam {
+namespace prover {
+
+/// A linear combination of solver variables: var index -> coefficient.
+using LinearExpr = std::map<int, Rational>;
+
+/// Feasibility answer; Unknown arises only when the branch-and-bound
+/// node budget is exhausted.
+enum class LinResult { Sat, Unsat, Unknown };
+
+/// Incremental-by-copy Simplex instance. Build the problem with
+/// newVar/addRow/assertBound, then call check(). The object is cheap to
+/// copy, which is how branch-and-bound and entailment probes explore
+/// hypothetical constraints.
+class Simplex {
+public:
+  /// Creates a fresh variable; \p Integer requests integrality during
+  /// branch-and-bound (every SIL-C variable is an integer).
+  int newVar(bool Integer = true);
+
+  /// Creates a variable constrained to equal \p Definition (a slack
+  /// variable with a tableau row). Bounds placed on the result constrain
+  /// the linear expression.
+  int defineVar(const LinearExpr &Definition, bool Integer = true);
+
+  /// Asserts Var >= Bound. Returns false on an immediately detected
+  /// bound clash (lower > upper).
+  bool assertLower(int Var, const Rational &Bound);
+
+  /// Asserts Var <= Bound.
+  bool assertUpper(int Var, const Rational &Bound);
+
+  /// Decides feasibility over the integers (for integer-marked vars).
+  /// \p NodeBudget bounds branch-and-bound nodes.
+  LinResult check(int NodeBudget = 200);
+
+  /// After a Sat check(), the value of \p Var in the found model.
+  Rational value(int Var) const;
+
+  /// Convenience probe: is the current system plus `Expr <= Bound`
+  /// satisfiable? Does not modify this solver.
+  LinResult probeUpper(const LinearExpr &Expr, const Rational &Bound,
+                       int NodeBudget = 200) const;
+
+  /// Probe for `Expr >= Bound`.
+  LinResult probeLower(const LinearExpr &Expr, const Rational &Bound,
+                       int NodeBudget = 200) const;
+
+  int numVars() const { return static_cast<int>(Lower.size()); }
+
+private:
+  LinResult checkRational();
+  void pivot(int Basic, int NonBasic);
+  void pivotAndUpdate(int Basic, int NonBasic, const Rational &NewValue);
+  LinResult branchAndBound(int &NodeBudget);
+
+  /// Row per basic variable: Basic = sum of coeff * nonbasic.
+  std::map<int, LinearExpr> Rows;
+  std::vector<std::optional<Rational>> Lower;
+  std::vector<std::optional<Rational>> Upper;
+  std::vector<Rational> Assignment;
+  std::vector<bool> IsInteger;
+  std::vector<bool> IsBasic;
+};
+
+} // namespace prover
+} // namespace slam
+
+#endif // PROVER_SIMPLEX_H

@@ -1,0 +1,419 @@
+//===- Theory.cpp - EUF + LIA with equality propagation -------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prover/Theory.h"
+
+#include "prover/CongruenceClosure.h"
+#include "prover/Simplex.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+using namespace slam;
+using namespace slam::prover;
+using logic::ExprKind;
+using logic::ExprRef;
+
+namespace {
+
+/// True if \p E contains an arithmetic operator (so LIA has work to do).
+bool containsArith(ExprRef E) {
+  switch (E->kind()) {
+  case ExprKind::Neg:
+  case ExprKind::Add:
+  case ExprKind::Sub:
+  case ExprKind::Mul:
+  case ExprKind::Div:
+  case ExprKind::Mod:
+    return true;
+  default:
+    break;
+  }
+  for (ExprRef Op : E->operands())
+    if (containsArith(Op))
+      return true;
+  return false;
+}
+
+/// One combined-check instance.
+class Combination {
+public:
+  TheoryResult run(const std::vector<Literal> &Literals);
+
+private:
+  /// Linearizes a term into unit-var + leaf-var coefficients. Leaves
+  /// (variables, derefs, fields, indices, address-ofs, non-linear
+  /// operators) become LIA variables shared with the EUF side.
+  LinearExpr linearize(ExprRef E);
+
+  int leafVar(ExprRef E);
+
+  /// Adds one literal's arithmetic meaning to \p S; negative equalities
+  /// are deferred to the split check. Returns false on infeasibility.
+  bool addAtomToLIA(Simplex &S, ExprRef Atom, bool Positive);
+
+  void collectConstantsAndAddrs(ExprRef E);
+
+  static constexpr int UnitVar = 0;
+
+  CongruenceClosure CC;
+  std::map<ExprRef, int> LeafVars;
+  std::vector<ExprRef> LeafOrder;
+  std::vector<ExprRef> ConstantTerms;
+  std::vector<ExprRef> AddrOfVarTerms;
+  std::vector<std::pair<ExprRef, ExprRef>> Disequalities;
+  bool SawUnknown = false;
+};
+
+LinearExpr Combination::linearize(ExprRef E) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return {{UnitVar, Rational(E->intValue())}};
+  case ExprKind::NullLit:
+    return {};
+  case ExprKind::Neg: {
+    LinearExpr Inner = linearize(E->op(0));
+    for (auto &[Var, Coeff] : Inner)
+      Coeff = -Coeff;
+    return Inner;
+  }
+  case ExprKind::Add:
+  case ExprKind::Sub: {
+    LinearExpr L = linearize(E->op(0));
+    LinearExpr R = linearize(E->op(1));
+    bool Negate = E->kind() == ExprKind::Sub;
+    for (const auto &[Var, Coeff] : R) {
+      Rational &Slot = L[Var];
+      Slot += Negate ? -Coeff : Coeff;
+      if (Slot.isZero())
+        L.erase(Var);
+    }
+    return L;
+  }
+  case ExprKind::Mul: {
+    // Linear only when one side is a constant.
+    LinearExpr L = linearize(E->op(0));
+    LinearExpr R = linearize(E->op(1));
+    auto ConstantOf = [](const LinearExpr &X) -> std::optional<Rational> {
+      if (X.empty())
+        return Rational(0);
+      if (X.size() == 1 && X.begin()->first == UnitVar)
+        return X.begin()->second;
+      return std::nullopt;
+    };
+    if (auto C = ConstantOf(L)) {
+      for (auto &[Var, Coeff] : R)
+        Coeff *= *C;
+      return R;
+    }
+    if (auto C = ConstantOf(R)) {
+      for (auto &[Var, Coeff] : L)
+        Coeff *= *C;
+      return L;
+    }
+    return {{leafVar(E), Rational(1)}};
+  }
+  default:
+    return {{leafVar(E), Rational(1)}};
+  }
+}
+
+int Combination::leafVar(ExprRef E) {
+  auto It = LeafVars.find(E);
+  if (It != LeafVars.end())
+    return It->second;
+  int Var = static_cast<int>(LeafOrder.size()) + 1; // 0 is the unit var.
+  LeafVars.emplace(E, Var);
+  LeafOrder.push_back(E);
+  return Var;
+}
+
+void Combination::collectConstantsAndAddrs(ExprRef E) {
+  if (E->kind() == ExprKind::IntLit || E->kind() == ExprKind::NullLit) {
+    if (std::find(ConstantTerms.begin(), ConstantTerms.end(), E) ==
+        ConstantTerms.end())
+      ConstantTerms.push_back(E);
+  }
+  if (E->kind() == ExprKind::AddrOf && E->op(0)->kind() == ExprKind::Var) {
+    if (std::find(AddrOfVarTerms.begin(), AddrOfVarTerms.end(), E) ==
+        AddrOfVarTerms.end())
+      AddrOfVarTerms.push_back(E);
+  }
+  for (ExprRef Op : E->operands())
+    collectConstantsAndAddrs(Op);
+}
+
+bool Combination::addAtomToLIA(Simplex &S, ExprRef Atom, bool Positive) {
+  ExprKind Kind = Positive ? Atom->kind() : logic::negateCmp(Atom->kind());
+  if (Kind == ExprKind::Ne) {
+    Disequalities.emplace_back(Atom->op(0), Atom->op(1));
+    return true;
+  }
+  LinearExpr Diff = linearize(Atom->op(0));
+  for (const auto &[Var, Coeff] : linearize(Atom->op(1))) {
+    Rational &Slot = Diff[Var];
+    Slot -= Coeff;
+    if (Slot.isZero())
+      Diff.erase(Var);
+  }
+  int Slack = S.defineVar(Diff, /*Integer=*/true);
+  switch (Kind) {
+  case ExprKind::Eq:
+    return S.assertLower(Slack, Rational(0)) &&
+           S.assertUpper(Slack, Rational(0));
+  case ExprKind::Lt:
+    return S.assertUpper(Slack, Rational(-1));
+  case ExprKind::Le:
+    return S.assertUpper(Slack, Rational(0));
+  case ExprKind::Gt:
+    return S.assertLower(Slack, Rational(1));
+  case ExprKind::Ge:
+    return S.assertLower(Slack, Rational(0));
+  default:
+    assert(false && "not a comparison");
+    return true;
+  }
+}
+
+TheoryResult Combination::run(const std::vector<Literal> &Literals) {
+  // ---- EUF side ---------------------------------------------------------
+  bool HasArith = false;
+  for (const Literal &L : Literals) {
+    assert(logic::isCmpKind(L.Atom->kind()) && "atoms are comparisons");
+    int A = CC.addTerm(L.Atom->op(0));
+    int B = CC.addTerm(L.Atom->op(1));
+    collectConstantsAndAddrs(L.Atom);
+    HasArith |= containsArith(L.Atom);
+    ExprKind Kind =
+        L.Positive ? L.Atom->kind() : logic::negateCmp(L.Atom->kind());
+    bool Ok = true;
+    switch (Kind) {
+    case ExprKind::Eq:
+      Ok = CC.assertEqual(A, B);
+      break;
+    case ExprKind::Ne:
+    case ExprKind::Lt:
+    case ExprKind::Gt:
+      // Strict comparisons imply disequality.
+      Ok = CC.assertDisequal(A, B);
+      break;
+    default:
+      HasArith = true; // Le / Ge orderings are arithmetic facts.
+      break;
+    }
+    if (Kind == ExprKind::Lt || Kind == ExprKind::Gt)
+      HasArith = true;
+    if (!Ok)
+      return TheoryResult::Unsat;
+  }
+
+  // ---- Memory-model axioms ----------------------------------------------
+  // Distinct integer literals differ; NULL is 0.
+  for (size_t I = 0; I != ConstantTerms.size(); ++I) {
+    for (size_t J = I + 1; J != ConstantTerms.size(); ++J) {
+      ExprRef A = ConstantTerms[I], B = ConstantTerms[J];
+      auto ValueOf = [](ExprRef E) {
+        return E->kind() == ExprKind::NullLit ? 0 : E->intValue();
+      };
+      bool Ok = ValueOf(A) == ValueOf(B)
+                    ? CC.assertEqual(CC.addTerm(A), CC.addTerm(B))
+                    : CC.assertDisequal(CC.addTerm(A), CC.addTerm(B));
+      if (!Ok)
+        return TheoryResult::Unsat;
+    }
+  }
+  // Addresses of distinct variables differ and are non-null/non-zero.
+  for (size_t I = 0; I != AddrOfVarTerms.size(); ++I) {
+    for (size_t J = I + 1; J != AddrOfVarTerms.size(); ++J) {
+      if (AddrOfVarTerms[I]->op(0) == AddrOfVarTerms[J]->op(0))
+        continue;
+      if (!CC.assertDisequal(CC.addTerm(AddrOfVarTerms[I]),
+                             CC.addTerm(AddrOfVarTerms[J])))
+        return TheoryResult::Unsat;
+    }
+    for (ExprRef C : ConstantTerms) {
+      int64_t V = C->kind() == ExprKind::NullLit ? 0 : C->intValue();
+      if (V == 0 &&
+          !CC.assertDisequal(CC.addTerm(AddrOfVarTerms[I]), CC.addTerm(C)))
+        return TheoryResult::Unsat;
+    }
+  }
+
+  // Fast path: with no orderings and no arithmetic operators, congruence
+  // closure alone is a decision procedure for the conjunction.
+  if (!HasArith)
+    return TheoryResult::Sat; // EUF conflicts were detected above.
+
+  // ---- Leaf discovery (fixes simplex variable ids) ------------------------
+  for (const Literal &L : Literals) {
+    (void)linearize(L.Atom->op(0));
+    (void)linearize(L.Atom->op(1));
+  }
+
+  // Propagation between the theories only matters when some leaf has
+  // functional structure (congruence can then derive new facts).
+  bool NeedPropagation = false;
+  for (ExprRef Leaf : LeafOrder)
+    NeedPropagation |= Leaf->numOperands() != 0;
+  int MaxRounds = NeedPropagation ? 8 : 1;
+
+  // ---- Combination loop ---------------------------------------------------
+  // Rebuild the LIA instance with all EUF-known equalities, decide, then
+  // import LIA-entailed equalities back into the EUF side; repeat to a
+  // fixpoint. Negative equalities get a complete integer split check.
+  for (int Round = 0; Round != MaxRounds; ++Round) {
+    Disequalities.clear();
+    Simplex S;
+    int Unit = S.newVar(true);
+    (void)Unit;
+    assert(Unit == UnitVar && "unit variable must be variable 0");
+    if (!S.assertLower(UnitVar, Rational(1)) ||
+        !S.assertUpper(UnitVar, Rational(1)))
+      return TheoryResult::Unsat;
+    for (size_t I = 0; I != LeafOrder.size(); ++I)
+      S.newVar(true);
+
+    for (const Literal &L : Literals)
+      if (!addAtomToLIA(S, L.Atom, L.Positive))
+        return TheoryResult::Unsat;
+
+    // AddrOf leaves are positive addresses.
+    for (ExprRef Leaf : LeafOrder)
+      if (Leaf->kind() == ExprKind::AddrOf)
+        if (!S.assertLower(LeafVars[Leaf], Rational(1)))
+          return TheoryResult::Unsat;
+
+    // EUF -> LIA: leaves in the same congruence class are equal numbers;
+    // a leaf congruent to an integer literal is pinned to its value.
+    for (size_t I = 0; I != LeafOrder.size(); ++I) {
+      int TI = CC.addTerm(LeafOrder[I]);
+      for (size_t J = I + 1; J != LeafOrder.size(); ++J) {
+        int TJ = CC.addTerm(LeafOrder[J]);
+        if (!CC.areEqual(TI, TJ))
+          continue;
+        LinearExpr Diff{{LeafVars[LeafOrder[I]], Rational(1)},
+                        {LeafVars[LeafOrder[J]], Rational(-1)}};
+        int Slack = S.defineVar(Diff, true);
+        if (!S.assertLower(Slack, Rational(0)) ||
+            !S.assertUpper(Slack, Rational(0)))
+          return TheoryResult::Unsat;
+      }
+      for (ExprRef C : ConstantTerms) {
+        if (!CC.areEqual(TI, CC.addTerm(C)))
+          continue;
+        int64_t V = C->kind() == ExprKind::NullLit ? 0 : C->intValue();
+        if (!S.assertLower(LeafVars[LeafOrder[I]], Rational(V)) ||
+            !S.assertUpper(LeafVars[LeafOrder[I]], Rational(V)))
+          return TheoryResult::Unsat;
+      }
+    }
+
+    LinResult Base = S.check();
+    if (Base == LinResult::Unsat)
+      return TheoryResult::Unsat;
+    if (Base == LinResult::Unknown)
+      SawUnknown = true;
+
+    // Integer split check for each disequality: if both t < u and t > u
+    // are infeasible then t = u is entailed, refuting the disequality.
+    // If exactly one side is feasible, assert it (e.g. x >= 0 && x != 0
+    // strengthens to x >= 1).
+    bool Strengthened = true;
+    while (Strengthened) {
+      Strengthened = false;
+      for (auto It = Disequalities.begin(); It != Disequalities.end();) {
+        LinearExpr Diff = linearize(It->first);
+        for (const auto &[Var, Coeff] : linearize(It->second)) {
+          Rational &Slot = Diff[Var];
+          Slot -= Coeff;
+          if (Slot.isZero())
+            Diff.erase(Var);
+        }
+        LinResult Lo = S.probeUpper(Diff, Rational(-1));
+        LinResult Hi = S.probeLower(Diff, Rational(1));
+        if (Lo == LinResult::Unsat && Hi == LinResult::Unsat)
+          return TheoryResult::Unsat;
+        if (Lo == LinResult::Unknown || Hi == LinResult::Unknown)
+          SawUnknown = true;
+        if (Lo == LinResult::Unsat && Hi == LinResult::Sat) {
+          int Slack = S.defineVar(Diff, true);
+          if (!S.assertLower(Slack, Rational(1)))
+            return TheoryResult::Unsat;
+          It = Disequalities.erase(It);
+          Strengthened = true;
+          continue;
+        }
+        if (Hi == LinResult::Unsat && Lo == LinResult::Sat) {
+          int Slack = S.defineVar(Diff, true);
+          if (!S.assertUpper(Slack, Rational(-1)))
+            return TheoryResult::Unsat;
+          It = Disequalities.erase(It);
+          Strengthened = true;
+          continue;
+        }
+        ++It;
+      }
+      if (Strengthened && S.check() == LinResult::Unsat)
+        return TheoryResult::Unsat;
+    }
+
+    if (!NeedPropagation)
+      break;
+
+    // LIA -> EUF: entailed equalities between shared leaves (and between
+    // leaves and integer constants) feed congruence closure.
+    bool Merged = false;
+    auto Entailed = [&](const LinearExpr &Diff) {
+      return S.probeUpper(Diff, Rational(-1)) == LinResult::Unsat &&
+             S.probeLower(Diff, Rational(1)) == LinResult::Unsat;
+    };
+    for (size_t I = 0; I != LeafOrder.size() && !Merged; ++I) {
+      int TI = CC.addTerm(LeafOrder[I]);
+      for (size_t J = I + 1; J != LeafOrder.size() && !Merged; ++J) {
+        int TJ = CC.addTerm(LeafOrder[J]);
+        if (CC.areEqual(TI, TJ))
+          continue;
+        LinearExpr Diff{{LeafVars[LeafOrder[I]], Rational(1)},
+                        {LeafVars[LeafOrder[J]], Rational(-1)}};
+        if (Entailed(Diff)) {
+          if (!CC.assertEqual(TI, TJ))
+            return TheoryResult::Unsat;
+          Merged = true;
+        }
+      }
+      if (Merged)
+        break;
+      for (ExprRef C : ConstantTerms) {
+        if (CC.areEqual(TI, CC.addTerm(C)))
+          continue;
+        int64_t V = C->kind() == ExprKind::NullLit ? 0 : C->intValue();
+        LinearExpr Diff{{LeafVars[LeafOrder[I]], Rational(1)},
+                        {UnitVar, Rational(-V)}};
+        if (Entailed(Diff)) {
+          if (!CC.assertEqual(TI, CC.addTerm(C)))
+            return TheoryResult::Unsat;
+          Merged = true;
+          break;
+        }
+      }
+    }
+    if (!Merged)
+      break;
+  }
+
+  return SawUnknown ? TheoryResult::Unknown : TheoryResult::Sat;
+}
+
+} // namespace
+
+TheoryResult prover::checkConjunction(const std::vector<Literal> &Literals) {
+  // A trivially empty conjunction is satisfiable.
+  if (Literals.empty())
+    return TheoryResult::Sat;
+  Combination C;
+  return C.run(Literals);
+}

@@ -1,0 +1,51 @@
+//===- Theory.h - Nelson–Oppen combination of EUF and LIA -------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decides satisfiability of conjunctions of comparison literals over the
+/// predicate language by combining congruence closure (equality with
+/// uninterpreted functions) and Simplex (linear integer arithmetic) with
+/// bidirectional equality propagation — the architecture of the
+/// Nelson–Oppen provers (Simplify, Vampyre) the paper builds on.
+///
+/// Built-in axioms of the memory model:
+///   * distinct integer literals are distinct;
+///   * NULL equals the integer 0;
+///   * addresses of distinct variables are distinct;
+///   * the address of a variable is neither NULL nor 0.
+///
+/// The procedure is sound for Unsat answers; a Sat answer may be
+/// approximate (the combination is propagation-based, not exhaustive),
+/// which the abstraction tolerates by conservatively weakening — exactly
+/// the paper's treatment of incomplete provers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROVER_THEORY_H
+#define PROVER_THEORY_H
+
+#include "logic/Expr.h"
+
+#include <vector>
+
+namespace slam {
+namespace prover {
+
+/// A theory literal: a comparison atom with a polarity.
+struct Literal {
+  logic::ExprRef Atom;
+  bool Positive;
+};
+
+enum class TheoryResult { Sat, Unsat, Unknown };
+
+/// Stateless entry point: decides one conjunction of literals.
+TheoryResult checkConjunction(const std::vector<Literal> &Literals);
+
+} // namespace prover
+} // namespace slam
+
+#endif // PROVER_THEORY_H

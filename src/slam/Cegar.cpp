@@ -1,0 +1,90 @@
+//===- Cegar.cpp - abstract / check / refine ----------------------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slam/Cegar.h"
+
+#include "cfront/Normalize.h"
+#include "cfront/Parser.h"
+#include "cfront/Sema.h"
+#include "slam/Newton.h"
+
+using namespace slam;
+using namespace slam::slamtool;
+using namespace slam::cfront;
+
+SlamResult slamtool::checkProgram(const Program &P,
+                                  const c2bp::PredicateSet &InitialPreds,
+                                  logic::LogicContext &Ctx,
+                                  const SlamOptions &Options,
+                                  StatsRegistry *Stats) {
+  SlamResult Result;
+  Result.Predicates = InitialPreds;
+  prover::Prover NewtonProver(Ctx, Stats);
+
+  for (int Iter = 0; Iter != Options.MaxIterations; ++Iter) {
+    Result.Iterations = Iter + 1;
+    if (Stats)
+      Stats->add("slam.iterations");
+
+    // Phase 1: abstraction.
+    c2bp::C2bpTool Tool(P, Result.Predicates, Ctx, Options.C2bp, Stats);
+    std::unique_ptr<bp::BProgram> BP = Tool.run();
+
+    // Phase 2: model checking.
+    bebop::Bebop Checker(*BP, Stats);
+    bebop::CheckResult Check = Checker.run(Options.EntryProc);
+    if (!Check.AssertViolated) {
+      Result.V = SlamResult::Verdict::Validated;
+      return Result;
+    }
+
+    // Phase 3: predicate discovery on the abstract counterexample.
+    NewtonResult NR = analyzeTrace(P, Check.Trace, Ctx, NewtonProver,
+                                   Result.Predicates, Stats);
+    if (NR.Feasible) {
+      Result.V = SlamResult::Verdict::BugFound;
+      Result.Trace = std::move(Check.Trace);
+      return Result;
+    }
+    if (NR.NewPreds.totalCount() == 0) {
+      Result.V = SlamResult::Verdict::Unknown;
+      Result.Trace = std::move(Check.Trace);
+      return Result;
+    }
+    for (logic::ExprRef E : NR.NewPreds.Globals)
+      Result.Predicates.addGlobal(E);
+    for (const auto &[ProcName, V] : NR.NewPreds.PerProc)
+      for (logic::ExprRef E : V)
+        Result.Predicates.addLocal(ProcName, E);
+  }
+  Result.V = SlamResult::Verdict::Unknown;
+  return Result;
+}
+
+std::optional<SlamResult> slamtool::checkSafety(
+    std::string_view Source, const SafetySpec &Spec,
+    logic::LogicContext &Ctx, DiagnosticEngine &Diags,
+    const SlamOptions &Options, StatsRegistry *Stats) {
+  std::unique_ptr<Program> P = parseProgram(Source, Diags);
+  if (!P)
+    return std::nullopt;
+  if (!analyze(*P, Diags))
+    return std::nullopt;
+  if (!instrument(*P, Spec, Options.EntryProc, Diags))
+    return std::nullopt;
+  if (!normalize(*P, Diags))
+    return std::nullopt;
+  DiagnosticEngine Rerun;
+  if (!analyze(*P, Rerun)) {
+    for (const Diagnostic &D : Rerun.diagnostics())
+      Diags.error(D.Loc, "internal (instrumentation): " + D.Message);
+    return std::nullopt;
+  }
+
+  c2bp::PredicateSet Seeds;
+  seedPredicates(Ctx, Spec, Seeds);
+  return checkProgram(*P, Seeds, Ctx, Options, Stats);
+}

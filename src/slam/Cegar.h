@@ -1,0 +1,73 @@
+//===- Cegar.h - The SLAM iterative refinement loop -------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SLAM process (Section 6.1): abstraction (C2bp), model checking
+/// (Bebop), and predicate discovery (Newton), iterated until the
+/// property is validated, a concrete error path is found, or refinement
+/// makes no progress. The toolkit never reports a spurious error path:
+/// every abstract counterexample is checked for concrete feasibility
+/// before being surfaced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLAM_CEGAR_H
+#define SLAM_CEGAR_H
+
+#include "bebop/Bebop.h"
+#include "c2bp/C2bp.h"
+#include "slam/SafetySpec.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace slam {
+namespace slamtool {
+
+struct SlamOptions {
+  c2bp::C2bpOptions C2bp;
+  int MaxIterations = 24;
+  std::string EntryProc = "main";
+};
+
+struct SlamResult {
+  enum class Verdict {
+    Validated, ///< No assert can fail: the property holds.
+    BugFound,  ///< A concretely feasible violating path exists.
+    Unknown,   ///< Refinement stopped making progress (or hit the cap).
+  };
+  Verdict V = Verdict::Unknown;
+  int Iterations = 0;
+  /// The violating path (for BugFound), as C statement ids with
+  /// procedure names.
+  std::vector<bebop::TraceStep> Trace;
+  /// Final predicate set (for reporting).
+  c2bp::PredicateSet Predicates;
+};
+
+/// Runs the SLAM loop on a parsed+analyzed+normalized program with the
+/// given initial predicates (often just the property seeds).
+SlamResult checkProgram(const cfront::Program &P,
+                        const c2bp::PredicateSet &InitialPreds,
+                        logic::LogicContext &Ctx,
+                        const SlamOptions &Options = {},
+                        StatsRegistry *Stats = nullptr);
+
+/// End-to-end front door: parse \p Source, weave \p Spec, normalize,
+/// seed `__state` predicates, and run the loop. Returns nullopt with
+/// diagnostics on front-end failure.
+std::optional<SlamResult> checkSafety(std::string_view Source,
+                                      const SafetySpec &Spec,
+                                      logic::LogicContext &Ctx,
+                                      DiagnosticEngine &Diags,
+                                      const SlamOptions &Options = {},
+                                      StatsRegistry *Stats = nullptr);
+
+} // namespace slamtool
+} // namespace slam
+
+#endif // SLAM_CEGAR_H

@@ -1,0 +1,52 @@
+//===- Newton.h - Path feasibility and predicate discovery ------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SLAM's refinement step: given an abstract counterexample from Bebop
+/// (a path over boolean-program statements mapped back to C statements),
+/// decide whether the path is concretely feasible by symbolic execution
+/// plus the theorem prover. If it is, the toolkit reports a genuine
+/// error path; if not, new predicates relevant to the infeasibility are
+/// extracted (branch-condition atoms on a minimized infeasible core, and
+/// atoms of weakest preconditions pushed backward through the path's
+/// assignments) and fed to the next C2bp round.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLAM_NEWTON_H
+#define SLAM_NEWTON_H
+
+#include "bebop/Bebop.h"
+#include "c2bp/PredicateSet.h"
+#include "cfront/AST.h"
+#include "prover/Prover.h"
+
+#include <string>
+#include <vector>
+
+namespace slam {
+namespace slamtool {
+
+/// Outcome of analyzing one abstract counterexample.
+struct NewtonResult {
+  /// The path is concretely executable: a real bug.
+  bool Feasible = false;
+  /// New predicates discovered (empty + infeasible means refinement is
+  /// stuck and SLAM answers "don't know").
+  c2bp::PredicateSet NewPreds;
+};
+
+/// Analyzes the trace against the (normalized, instrumented) program.
+NewtonResult analyzeTrace(const cfront::Program &P,
+                          const std::vector<bebop::TraceStep> &Trace,
+                          logic::LogicContext &Ctx, prover::Prover &Prover,
+                          const c2bp::PredicateSet &Existing,
+                          StatsRegistry *Stats = nullptr);
+
+} // namespace slamtool
+} // namespace slam
+
+#endif // SLAM_NEWTON_H

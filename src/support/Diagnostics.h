@@ -1,0 +1,76 @@
+//===- Diagnostics.h - Error reporting engine -------------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine used by every parser and semantic pass in the
+/// toolkit. Diagnostics are collected (not printed eagerly) so that tests
+/// can assert on them and tools can decide how to render them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_DIAGNOSTICS_H
+#define SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace slam {
+
+/// Severity of a diagnostic message.
+enum class DiagKind { Error, Warning, Note };
+
+/// One collected diagnostic: severity, position and rendered message.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "line:col: error: message" in the style of a C compiler.
+  std::string str() const;
+};
+
+/// Collects diagnostics emitted by parsers and semantic checks.
+///
+/// The engine never aborts; callers query \c hasErrors() at phase
+/// boundaries and bail out themselves, which keeps error recovery local
+/// to each pass.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every collected diagnostic, one per line.
+  std::string str() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace slam
+
+#endif // SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,60 @@
+//===- Stats.h - Named statistic counters -----------------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named counters in the spirit of LLVM's Statistic class, used to report
+/// the quantities the paper tabulates (theorem-prover calls, cache hits,
+/// cubes enumerated, BDD nodes, ...). Counters live in an explicit
+/// registry object rather than global state so that benchmark harnesses
+/// can run many configurations in one process without cross-talk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_STATS_H
+#define SUPPORT_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace slam {
+
+/// A registry of named 64-bit counters.
+///
+/// Lookup is by name; creating a counter on first use keeps call sites
+/// terse: \c Stats.add("prover.queries").
+class StatsRegistry {
+public:
+  void add(const std::string &Name, uint64_t Delta = 1) {
+    Counters[Name] += Delta;
+  }
+
+  void set(const std::string &Name, uint64_t Value) { Counters[Name] = Value; }
+
+  uint64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  const std::map<std::string, uint64_t> &all() const { return Counters; }
+
+  /// Renders "name = value" lines sorted by name.
+  std::string str() const {
+    std::string Out;
+    for (const auto &[Name, Value] : Counters)
+      Out += Name + " = " + std::to_string(Value) + "\n";
+    return Out;
+  }
+
+  void clear() { Counters.clear(); }
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace slam
+
+#endif // SUPPORT_STATS_H

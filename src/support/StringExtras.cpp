@@ -1,0 +1,51 @@
+//===- StringExtras.cpp ---------------------------------------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringExtras.h"
+
+#include <cctype>
+
+using namespace slam;
+
+std::string slam::join(const std::vector<std::string> &Parts,
+                       std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I != Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string_view slam::trim(std::string_view Text) {
+  size_t B = 0, E = Text.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(Text[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(Text[E - 1])))
+    --E;
+  return Text.substr(B, E - B);
+}
+
+std::vector<std::string> slam::splitAndTrim(std::string_view Text, char Sep) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Next = Text.find(Sep, Pos);
+    if (Next == std::string_view::npos)
+      Next = Text.size();
+    std::string_view Piece = trim(Text.substr(Pos, Next - Pos));
+    if (!Piece.empty())
+      Out.emplace_back(Piece);
+    Pos = Next + 1;
+  }
+  return Out;
+}
+
+bool slam::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}

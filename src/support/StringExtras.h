@@ -1,0 +1,31 @@
+//===- StringExtras.h - String helpers --------------------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_STRINGEXTRAS_H
+#define SUPPORT_STRINGEXTRAS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slam {
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+/// Splits \p Text on \p Sep, trimming ASCII whitespace from each piece and
+/// dropping empty pieces.
+std::vector<std::string> splitAndTrim(std::string_view Text, char Sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view Text);
+
+/// Returns true if \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+} // namespace slam
+
+#endif // SUPPORT_STRINGEXTRAS_H

@@ -1,0 +1,42 @@
+//===- Timer.h - Wall-clock timing ------------------------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal wall-clock timer for the per-tool runtimes the paper reports
+/// in Tables 1 and 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_TIMER_H
+#define SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace slam {
+
+/// Measures elapsed wall-clock time from construction (or \c reset()).
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed milliseconds since construction / last reset.
+  double millis() const { return seconds() * 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace slam
+
+#endif // SUPPORT_TIMER_H

@@ -1,0 +1,247 @@
+//===- Table2.cpp - Array and heap intensive programs (Section 6.2) ---------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace slam;
+using namespace slam::workloads;
+
+const Workload &workloads::partitionWorkload() {
+  static const Workload W{
+      "partition",
+      R"(/* Figure 1(a): destructively partition a list around v. */
+typedef struct cell {
+  int val;
+  struct cell* next;
+} *list;
+
+list partition(list *l, int v) {
+  list curr, prev, newl, nextcurr;
+  curr = *l;
+  prev = NULL;
+  newl = NULL;
+  while (curr != NULL) {
+    nextcurr = curr->next;
+    if (curr->val > v) {
+      if (prev != NULL)
+        prev->next = nextcurr;
+      if (curr == *l)
+        *l = nextcurr;
+      curr->next = newl;
+      L: newl = curr;
+    } else {
+      prev = curr;
+    }
+    curr = nextcurr;
+  }
+  return newl;
+}
+)",
+      R"(partition:
+  curr == NULL, prev == NULL,
+  curr->val > v, prev->val > v
+)",
+      "partition", "L"};
+  return W;
+}
+
+const Workload &workloads::listfindWorkload() {
+  static const Workload W{
+      "listfind",
+      R"(/* Search a list for a value; bounds on the traversal pointer. */
+typedef struct cell {
+  int val;
+  struct cell* next;
+} *list;
+
+int listfind(list l, int v) {
+  list curr;
+  int found;
+  found = 0;
+  curr = l;
+  while (curr != NULL) {
+    L: assert(curr != NULL);
+    if (curr->val == v) {
+      found = 1;
+      curr = NULL;
+    } else {
+      curr = curr->next;
+    }
+  }
+  return found;
+}
+)",
+      R"(listfind:
+  curr == NULL, curr->val == v, found == 1
+)",
+      "listfind", "L"};
+  return W;
+}
+
+const Workload &workloads::reverseWorkload() {
+  static const Workload W{
+      "reverse",
+      R"(/* Figure 3: mark-and-sweep style traversal with back pointers.
+   The auxiliary variables h / hnext witness that the procedure
+   leaves the shape of the list unchanged: at the end,
+   h->next == hnext for an arbitrary list node h. */
+struct node {
+  int mark;
+  struct node *next;
+};
+
+struct node *anynode();
+
+void mark(struct node *list) {
+  struct node *this;
+  struct node *tmp;
+  struct node *prev;
+  struct node *h;
+  struct node *hnext;
+
+  h = anynode();
+  if (h == 0) { return; }
+  hnext = h->next;
+
+  prev = 0;
+  this = list;
+  /* traverse list and mark, setting back pointers */
+  while (this != 0) {
+    if (this->mark == 1) {
+      break;
+    }
+    this->mark = 1;
+    tmp = prev;
+    prev = this;
+    this = this->next;
+    prev->next = tmp;
+  }
+  /* traverse back, resetting the pointers */
+  while (prev != 0) {
+    tmp = this;
+    this = prev;
+    prev = prev->next;
+    this->next = tmp;
+  }
+  L: assert(h->next == hnext);
+}
+)",
+      R"(mark:
+  h == 0, prev == h, this == h,
+  this->next == hnext, h->next == hnext,
+  prev == this, hnext->next == h
+)",
+      "mark", "L"};
+  return W;
+}
+
+const Workload &workloads::kmpWorkload() {
+  static const Workload W{
+      "kmp",
+      R"(/* Knuth-Morris-Pratt string matching over int arrays (after
+   Necula's proof-carrying-code example): every array access is
+   guarded by the bounds the PCC compiler had to certify. */
+int pat[10];
+int txt[100];
+int fail[10];
+
+int kmpsearch(int m, int n) {
+  int i;
+  int j;
+  int result;
+  result = 0 - 1;
+  if (m <= 0) { return result; }
+  if (m > 10) { return result; }
+  if (n < 0) { return result; }
+  if (n > 100) { return result; }
+  i = 0;
+  j = 0;
+  while (i < n) {
+    B: assert(i >= 0);
+    assert(j >= 0);
+    assert(j < m);
+    if (txt[i] == pat[j]) {
+      i = i + 1;
+      j = j + 1;
+      if (j == m) {
+        result = i - m;
+        return result;
+      }
+    } else {
+      if (j > 0) {
+        j = fail[j - 1];
+        /* defensive clamp: the table is data we know nothing about */
+        if (j < 0) { j = 0; }
+        if (j >= m) { j = 0; }
+      } else {
+        i = i + 1;
+      }
+    }
+  }
+  return result;
+}
+)",
+      R"(kmpsearch:
+  i >= 0, j >= 0, j < m, j <= m, m > 0, j == m
+)",
+      "kmpsearch", "B"};
+  return W;
+}
+
+const Workload &workloads::qsortWorkload() {
+  static const Workload W{
+      "qsort",
+      R"(/* Array quicksort (Lomuto partition), recursive, with the array
+   bounds assertions of Necula's PCC example. */
+int arr[100];
+
+void quicksort(int lo, int hi, int n) {
+  int i;
+  int p;
+  int t;
+  int pivot;
+  if (lo < 0) { return; }
+  if (hi >= n) { return; }
+  if (lo >= hi) { return; }
+  pivot = arr[hi];
+  i = lo;
+  p = lo;
+  while (i < hi) {
+    B: assert(i >= 0);
+    assert(i < n);
+    assert(p >= 0);
+    assert(p < n);
+    if (arr[i] < pivot) {
+      t = arr[i];
+      arr[i] = arr[p];
+      arr[p] = t;
+      i = i + 1;
+      p = p + 1;
+    } else {
+      i = i + 1;
+    }
+  }
+  assert(p >= 0);
+  assert(p < n);
+  t = arr[p];
+  arr[p] = arr[hi];
+  arr[hi] = t;
+  quicksort(lo, p - 1, n);
+  quicksort(p + 1, hi, n);
+}
+)",
+      R"(quicksort:
+  lo >= 0, hi < n, lo < hi,
+  i >= lo, i <= hi, i < hi, p >= lo, p <= i, p < i
+)",
+      "quicksort", "B"};
+  return W;
+}
+
+std::vector<const Workload *> workloads::table2Workloads() {
+  return {&kmpWorkload(), &qsortWorkload(), &partitionWorkload(),
+          &listfindWorkload(), &reverseWorkload()};
+}

@@ -1,0 +1,89 @@
+//===- Workloads.h - The paper's evaluation programs ------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The programs of the paper's evaluation (Section 6):
+///
+///   * Table 2's array- and heap-intensive programs — kmp and qsort
+///     (from Necula's proof-carrying-code examples), the list partition
+///     of Figure 1, a list search, and Figure 3's mark/reverse list
+///     traversal — each with its predicate input file;
+///   * Table 1's device drivers. The Windows DDK sources are not
+///     available, so driver *models* are generated: control-intensive
+///     dispatch routines and helpers exercising the lock and IRP
+///     disciplines, sized per configuration (see DESIGN.md for the
+///     substitution rationale).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_WORKLOADS_H
+#define WORKLOADS_WORKLOADS_H
+
+#include "slam/SafetySpec.h"
+
+#include <string>
+#include <vector>
+
+namespace slam {
+namespace workloads {
+
+/// One Table 2 workload: a SIL-C program plus its predicate file.
+struct Workload {
+  std::string Name;
+  std::string Source;
+  std::string Predicates;
+  /// Entry procedure for reachability (the analyzed procedure).
+  std::string Entry;
+  /// Label whose invariant the experiment inspects ("" if none).
+  std::string InvariantLabel;
+};
+
+const Workload &partitionWorkload(); ///< Figure 1.
+const Workload &listfindWorkload();
+const Workload &reverseWorkload(); ///< Figure 3's mark.
+const Workload &kmpWorkload();     ///< Necula's KMP matcher.
+const Workload &qsortWorkload();   ///< Array quicksort.
+
+/// All five Table 2 rows in paper order.
+std::vector<const Workload *> table2Workloads();
+
+//===----------------------------------------------------------------------===//
+// Driver models (Table 1)
+//===----------------------------------------------------------------------===//
+
+/// Configuration of one generated driver model.
+struct DriverConfig {
+  std::string Name;
+  int NumDispatch = 4;      ///< Dispatch routines (IRP_MJ_* handlers).
+  int HelpersPerDispatch = 3;
+  int BranchDepth = 2;      ///< Nesting of status-checking conditionals.
+  int FillerPerHelper = 6;  ///< Data-manipulation statements per helper.
+  bool UseIrp = false;      ///< Check the IRP discipline too.
+  bool InjectBug = false;   ///< Plant a double-acquire on one path.
+  unsigned Seed = 1;
+};
+
+/// One Table 1 driver model: generated source + the property to check.
+struct DriverModel {
+  std::string Name;
+  std::string Source;
+  slamtool::SafetySpec Spec;
+  unsigned SourceLines = 0;
+};
+
+/// Generates a deterministic driver model from \p Config.
+DriverModel generateDriver(const DriverConfig &Config);
+
+/// The five Table 1 rows: floppy, ioctl, openclos, srdriver, log.
+/// Sizes are scaled relative to the paper's drivers (floppy and
+/// srdriver largest); floppy carries the injected bug the paper reports
+/// finding in the in-development floppy driver.
+std::vector<DriverModel> table1Drivers();
+
+} // namespace workloads
+} // namespace slam
+
+#endif // WORKLOADS_WORKLOADS_H

@@ -1,0 +1,206 @@
+//===- BddTest.cpp - ROBDD algebra, incl. truth-table oracle ---------------===//
+
+#include "bdd/Bdd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace slam;
+using namespace slam::bdd;
+
+namespace {
+
+class BddTest : public ::testing::Test {
+protected:
+  BddTest() {
+    for (int I = 0; I != 5; ++I)
+      V.push_back(M.newVar());
+  }
+  BddManager M;
+  std::vector<int> V;
+};
+
+TEST_F(BddTest, TerminalIdentities) {
+  Node A = M.varNode(V[0]);
+  EXPECT_EQ(M.mkAnd(A, BddManager::True), A);
+  EXPECT_EQ(M.mkAnd(A, BddManager::False), BddManager::False);
+  EXPECT_EQ(M.mkOr(A, BddManager::False), A);
+  EXPECT_EQ(M.mkOr(A, BddManager::True), BddManager::True);
+  EXPECT_EQ(M.mkNot(M.mkNot(A)), A);
+}
+
+TEST_F(BddTest, CanonicityGivesEquality) {
+  Node A = M.varNode(V[0]), B = M.varNode(V[1]);
+  EXPECT_EQ(M.mkAnd(A, B), M.mkAnd(B, A));
+  EXPECT_EQ(M.mkOr(A, B), M.mkNot(M.mkAnd(M.mkNot(A), M.mkNot(B))));
+  Node C = M.varNode(V[2]);
+  EXPECT_EQ(M.mkAnd(M.mkAnd(A, B), C), M.mkAnd(A, M.mkAnd(B, C)));
+}
+
+TEST_F(BddTest, ContradictionAndTautology) {
+  Node A = M.varNode(V[0]);
+  EXPECT_EQ(M.mkAnd(A, M.mkNot(A)), BddManager::False);
+  EXPECT_EQ(M.mkOr(A, M.mkNot(A)), BddManager::True);
+  EXPECT_TRUE(M.isTautology(M.mkImplies(A, A)));
+}
+
+TEST_F(BddTest, RestrictIsCofactor) {
+  Node F = M.mkOr(M.mkAnd(M.varNode(V[0]), M.varNode(V[1])),
+                  M.varNode(V[2]));
+  EXPECT_EQ(M.restrict(F, V[0], false), M.varNode(V[2]));
+  EXPECT_EQ(M.restrict(F, V[0], true),
+            M.mkOr(M.varNode(V[1]), M.varNode(V[2])));
+  // Restricting a variable not in the support is the identity.
+  EXPECT_EQ(M.restrict(F, V[4], true), F);
+}
+
+TEST_F(BddTest, Quantification) {
+  // exists v1. (v0 && v1) == v0; forall v1. (v0 || v1) == v0.
+  Node F = M.mkAnd(M.varNode(V[0]), M.varNode(V[1]));
+  EXPECT_EQ(M.exists(F, {V[1]}), M.varNode(V[0]));
+  Node G = M.mkOr(M.varNode(V[0]), M.varNode(V[1]));
+  EXPECT_EQ(M.forall(G, {V[1]}), M.varNode(V[0]));
+  // exists over everything: sat <=> not false.
+  EXPECT_EQ(M.exists(F, V), BddManager::True);
+}
+
+TEST_F(BddTest, RenameShiftsRails) {
+  // Map even "current" vars to odd "shadow" vars: v0->v1, v2->v3.
+  Node F = M.mkAnd(M.varNode(V[0]), M.mkNot(M.varNode(V[2])));
+  Node R = M.rename(F, {{V[0], V[1]}, {V[2], V[3]}});
+  EXPECT_EQ(R, M.mkAnd(M.varNode(V[1]), M.mkNot(M.varNode(V[3]))));
+  // Renaming back round-trips.
+  EXPECT_EQ(M.rename(R, {{V[1], V[0]}, {V[3], V[2]}}), F);
+}
+
+TEST_F(BddTest, SatCount) {
+  EXPECT_EQ(M.satCount(BddManager::True, 3), 8.0);
+  EXPECT_EQ(M.satCount(BddManager::False, 3), 0.0);
+  EXPECT_EQ(M.satCount(M.varNode(V[0]), 3), 4.0);
+  Node F = M.mkAnd(M.varNode(V[0]), M.varNode(V[2]));
+  EXPECT_EQ(M.satCount(F, 3), 2.0);
+  Node G = M.mkOr(M.varNode(V[1]), M.varNode(V[2]));
+  EXPECT_EQ(M.satCount(G, 3), 6.0);
+}
+
+TEST_F(BddTest, AnySatSatisfies) {
+  Node F = M.mkAnd(M.mkOr(M.varNode(V[0]), M.varNode(V[1])),
+                   M.mkNot(M.varNode(V[2])));
+  auto A = M.anySat(F);
+  EXPECT_TRUE(M.eval(F, A));
+  EXPECT_TRUE(M.anySat(BddManager::False).empty());
+}
+
+TEST_F(BddTest, CubesPartitionTheOnSet) {
+  Node F = M.mkOr(M.mkAnd(M.varNode(V[0]), M.varNode(V[1])),
+                  M.mkAnd(M.mkNot(M.varNode(V[0])), M.varNode(V[2])));
+  double Count = 0;
+  M.forEachCube(F, [&](const std::map<int, bool> &Cube) {
+    EXPECT_TRUE(M.eval(F, Cube));
+    Count += std::pow(2.0, 3 - static_cast<int>(Cube.size()));
+  });
+  EXPECT_EQ(Count, M.satCount(F, 3));
+}
+
+TEST_F(BddTest, CubeBuilder) {
+  Node C = M.cube({{V[0], true}, {V[2], false}});
+  EXPECT_EQ(C, M.mkAnd(M.varNode(V[0]), M.mkNot(M.varNode(V[2]))));
+}
+
+//===----------------------------------------------------------------------===//
+// Property test: random 4-variable formulas against a truth-table oracle.
+//===----------------------------------------------------------------------===//
+
+struct Rng {
+  uint64_t State;
+  uint32_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return static_cast<uint32_t>(State >> 32);
+  }
+};
+
+/// A formula is evaluated both as a BDD and as a 16-row truth table.
+struct RandomFormula {
+  Node Bdd;
+  uint16_t Table; // Bit i = value under assignment i (v0..v3 = bits).
+};
+
+RandomFormula randomFormula(BddManager &M, const std::vector<int> &V,
+                            Rng &R, int Depth) {
+  static const uint16_t VarTables[4] = {0xAAAA, 0xCCCC, 0xF0F0, 0xFF00};
+  if (Depth == 0 || R.next() % 4 == 0) {
+    int I = R.next() % 4;
+    return {M.varNode(V[I]), VarTables[I]};
+  }
+  switch (R.next() % 3) {
+  case 0: {
+    RandomFormula A = randomFormula(M, V, R, Depth - 1);
+    return {M.mkNot(A.Bdd), static_cast<uint16_t>(~A.Table)};
+  }
+  case 1: {
+    RandomFormula A = randomFormula(M, V, R, Depth - 1);
+    RandomFormula B = randomFormula(M, V, R, Depth - 1);
+    return {M.mkAnd(A.Bdd, B.Bdd),
+            static_cast<uint16_t>(A.Table & B.Table)};
+  }
+  default: {
+    RandomFormula A = randomFormula(M, V, R, Depth - 1);
+    RandomFormula B = randomFormula(M, V, R, Depth - 1);
+    return {M.mkOr(A.Bdd, B.Bdd),
+            static_cast<uint16_t>(A.Table | B.Table)};
+  }
+  }
+}
+
+class BddOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddOracleTest, MatchesTruthTable) {
+  BddManager M;
+  std::vector<int> V;
+  for (int I = 0; I != 4; ++I)
+    V.push_back(M.newVar());
+  Rng R{static_cast<uint64_t>(GetParam()) * 2654435761u + 1};
+
+  RandomFormula F = randomFormula(M, V, R, 5);
+  for (int A = 0; A != 16; ++A) {
+    std::map<int, bool> Assign;
+    for (int I = 0; I != 4; ++I)
+      Assign[V[I]] = (A >> I) & 1;
+    bool Expected = (F.Table >> A) & 1;
+    EXPECT_EQ(M.eval(F.Bdd, Assign), Expected)
+        << "assignment " << A << " seed " << GetParam();
+  }
+  // satCount agrees with popcount.
+  int Pop = 0;
+  for (int A = 0; A != 16; ++A)
+    Pop += (F.Table >> A) & 1;
+  EXPECT_EQ(M.satCount(F.Bdd, 4), static_cast<double>(Pop));
+
+  // Quantification oracle: exists v0 F == F[v0=0] | F[v0=1].
+  uint16_t Lo = 0, Hi = 0;
+  for (int A = 0; A != 16; ++A) {
+    if (!((A >> 0) & 1)) {
+      int Bit = (F.Table >> A) & 1;
+      int Partner = (F.Table >> (A | 1)) & 1;
+      uint16_t Or = Bit | Partner;
+      Lo |= Or << A;
+      Hi |= Or << (A | 1);
+    }
+  }
+  uint16_t ExTable = Lo | Hi;
+  Node Ex = M.exists(F.Bdd, {V[0]});
+  for (int A = 0; A != 16; ++A) {
+    std::map<int, bool> Assign;
+    for (int I = 0; I != 4; ++I)
+      Assign[V[I]] = (A >> I) & 1;
+    EXPECT_EQ(M.eval(Ex, Assign), static_cast<bool>((ExTable >> A) & 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFormulas, BddOracleTest,
+                         ::testing::Range(0, 25));
+
+} // namespace

@@ -1,0 +1,97 @@
+//===- BPPrinterTest.cpp - Boolean-program AST and printing ----------------===//
+
+#include "bp/BPAst.h"
+
+#include <gtest/gtest.h>
+
+using namespace slam;
+using namespace slam::bp;
+
+namespace {
+
+TEST(BPPrinter, ExpressionFolding) {
+  BProgram P;
+  const BExpr *T = P.constant(true);
+  const BExpr *F = P.constant(false);
+  const BExpr *V = P.varRef("b");
+  EXPECT_EQ(P.andE(T, V), V);
+  EXPECT_EQ(P.andE(F, V)->Kind, BExprKind::Const);
+  EXPECT_EQ(P.orE(F, V), V);
+  EXPECT_TRUE(P.orE(T, V)->BoolValue);
+  EXPECT_EQ(P.notE(P.notE(V)), V);
+  EXPECT_EQ(P.notE(P.star())->Kind, BExprKind::Star);
+}
+
+TEST(BPPrinter, ChooseFolding) {
+  BProgram P;
+  // choose(true, _) = true; choose(false, true) = false;
+  // choose(false, false) = *.
+  EXPECT_TRUE(P.choose(P.constant(true), P.varRef("x"))->BoolValue);
+  const BExpr *CF = P.choose(P.constant(false), P.constant(true));
+  EXPECT_EQ(CF->Kind, BExprKind::Const);
+  EXPECT_FALSE(CF->BoolValue);
+  EXPECT_EQ(P.choose(P.constant(false), P.constant(false))->Kind,
+            BExprKind::Star);
+  EXPECT_EQ(P.choose(P.varRef("p"), P.varRef("n"))->Kind,
+            BExprKind::Choose);
+}
+
+TEST(BPPrinter, PredicateVariableNamesUseBraces) {
+  BProgram P;
+  const BExpr *V = P.varRef("curr == NULL");
+  EXPECT_EQ(V->str(), "{curr == NULL}");
+  EXPECT_EQ(P.varRef("plain")->str(), "plain");
+  EXPECT_EQ(P.notE(V)->str(), "!{curr == NULL}");
+}
+
+TEST(BPPrinter, StatementForms) {
+  BProgram P;
+  BStmt *Assign = P.makeStmt(BStmtKind::Assign);
+  Assign->Targets = {"prev == NULL", "prev->val > v"};
+  Assign->Exprs = {P.varRef("curr == NULL"),
+                   P.choose(P.varRef("a"), P.varRef("b"))};
+  EXPECT_EQ(printBStmt(*Assign),
+            "{prev == NULL}, {prev->val > v} := {curr == NULL}, "
+            "choose(a, b);\n");
+
+  BStmt *Assume = P.makeStmt(BStmtKind::Assume);
+  Assume->Cond = P.notE(P.varRef("curr == NULL"));
+  EXPECT_EQ(printBStmt(*Assume), "assume(!{curr == NULL});\n");
+
+  BStmt *Call = P.makeStmt(BStmtKind::Call);
+  Call->Targets = {"t1", "t2"};
+  Call->Callee = "bar";
+  Call->Exprs = {P.varRef("prm1"), P.varRef("prm2")};
+  EXPECT_EQ(printBStmt(*Call), "t1, t2 := call bar(prm1, prm2);\n");
+
+  BStmt *Goto = P.makeStmt(BStmtKind::Goto);
+  Goto->Labels = {"L1", "L2"};
+  EXPECT_EQ(printBStmt(*Goto), "goto L1, L2;\n");
+}
+
+TEST(BPPrinter, WholeProgram) {
+  BProgram P;
+  P.Globals = {"g"};
+  BProc *Proc = P.makeProc();
+  Proc->Name = "partition";
+  Proc->NumReturns = 0;
+  Proc->Locals = {"curr == NULL"};
+  Proc->Body = P.makeStmt(BStmtKind::Block);
+  BStmt *W = P.makeStmt(BStmtKind::While);
+  W->Cond = P.star();
+  W->Body = P.makeStmt(BStmtKind::Block);
+  BStmt *A = P.makeStmt(BStmtKind::Assume);
+  A->Cond = P.notE(P.varRef("curr == NULL"));
+  W->Body->Stmts.push_back(A);
+  Proc->Body->Stmts.push_back(W);
+  P.Procs.push_back(Proc);
+
+  std::string Text = P.str();
+  EXPECT_NE(Text.find("decl g;"), std::string::npos);
+  EXPECT_NE(Text.find("void partition() begin"), std::string::npos);
+  EXPECT_NE(Text.find("decl {curr == NULL};"), std::string::npos);
+  EXPECT_NE(Text.find("while (*) begin"), std::string::npos);
+  EXPECT_NE(Text.find("assume(!{curr == NULL});"), std::string::npos);
+}
+
+} // namespace

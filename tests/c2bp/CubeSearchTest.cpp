@@ -1,0 +1,224 @@
+//===- CubeSearchTest.cpp - F_V / G_V (Section 4.1, 5.2) --------------------===//
+
+#include "c2bp/CubeSearch.h"
+
+#include "logic/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace slam;
+using namespace slam::c2bp;
+using logic::ExprRef;
+
+namespace {
+
+class CubeSearchTest : public ::testing::Test {
+protected:
+  CubeSearchTest() : P(Ctx) {}
+
+  ExprRef parse(const std::string &Text) {
+    DiagnosticEngine Diags;
+    ExprRef E = logic::parseExpr(Ctx, Text, Diags);
+    EXPECT_TRUE(E != nullptr) << Diags.str();
+    return E;
+  }
+
+  std::vector<ExprRef> preds(const std::vector<std::string> &Texts) {
+    std::vector<ExprRef> Out;
+    for (const std::string &T : Texts)
+      Out.push_back(parse(T));
+    return Out;
+  }
+
+  CubeSearch make(CubeSearchOptions Options = {}) {
+    return CubeSearch(Ctx, P, Oracle, Options, nullptr);
+  }
+
+  logic::LogicContext Ctx;
+  prover::Prover P;
+  logic::ShapeAliasOracle Oracle;
+};
+
+TEST_F(CubeSearchTest, PaperExampleStrengthening) {
+  // E = {x < 5, x == 2}: E(F_V(x < 4)) = (x == 2).
+  CubeSearch CS = make();
+  auto V = preds({"x < 5", "x == 2"});
+  Dnf D = CS.findF(V, parse("x < 4"));
+  ASSERT_EQ(D.size(), 1u);
+  ASSERT_EQ(D[0].size(), 1u);
+  EXPECT_EQ(D[0][0].Var, 1);
+  EXPECT_TRUE(D[0][0].Positive);
+  EXPECT_EQ(CS.concretizeF(V, parse("x < 4")), parse("x == 2"));
+}
+
+TEST_F(CubeSearchTest, TrueYieldsEmptyCube) {
+  CubeSearch CS = make();
+  Dnf D = CS.findF(preds({"x < 5"}), Ctx.trueE());
+  ASSERT_EQ(D.size(), 1u);
+  EXPECT_TRUE(D[0].empty());
+}
+
+TEST_F(CubeSearchTest, NoImplicantGivesEmptyDnf) {
+  CubeSearch CS = make();
+  // Nothing about y follows from predicates about x.
+  Dnf D = CS.findF(preds({"x < 5"}), parse("y > 0"));
+  EXPECT_TRUE(D.empty());
+  EXPECT_TRUE(CS.concretizeF(preds({"x < 5"}), parse("y > 0"))->isFalse());
+}
+
+TEST_F(CubeSearchTest, ConjunctionNeedsLongerCube) {
+  // Figure 2: F(*p + x <= 0) over {*p <= 0, x == 0, r == 0} is the
+  // two-literal cube {*p <= 0} && {x == 0}.
+  CubeSearch CS = make();
+  auto V = preds({"*p <= 0", "x == 0", "r == 0"});
+  Dnf D = CS.findF(V, parse("*p + x <= 0"));
+  ASSERT_EQ(D.size(), 1u);
+  ASSERT_EQ(D[0].size(), 2u);
+  EXPECT_EQ(D[0][0].Var, 0);
+  EXPECT_TRUE(D[0][0].Positive);
+  EXPECT_EQ(D[0][1].Var, 1);
+  EXPECT_TRUE(D[0][1].Positive);
+  // And the negative side: !(*p <= 0) && x == 0.
+  Dnf DN = CS.findF(V, parse("!(*p + x <= 0)"));
+  ASSERT_EQ(DN.size(), 1u);
+  ASSERT_EQ(DN[0].size(), 2u);
+  EXPECT_FALSE(DN[0][0].Positive);
+  EXPECT_TRUE(DN[0][1].Positive);
+}
+
+TEST_F(CubeSearchTest, PrimeImplicantsOnly) {
+  // phi = x < 5 with V = {x < 5, x == 2}: the prime implicant {x<5}
+  // subsumes {x<5, x==2}.
+  CubeSearch CS = make();
+  auto V = preds({"x < 5", "x == 2"});
+  Dnf D = CS.findF(V, parse("x < 5"));
+  ASSERT_EQ(D.size(), 1u);
+  EXPECT_EQ(D[0].size(), 1u);
+}
+
+TEST_F(CubeSearchTest, DisjunctionOfImplicants) {
+  // Both x == 1 and x == 2 imply x >= 1 (with x <= 9 irrelevant).
+  CubeSearchOptions O;
+  O.SyntacticFastPaths = false;
+  CubeSearch CS = make(O);
+  auto V = preds({"x == 1", "x == 2", "y == 7"});
+  Dnf D = CS.findF(V, parse("x >= 1"));
+  // Expect at least the two positive singleton cubes.
+  int Singles = 0;
+  for (const Cube &C : D)
+    if (C.size() == 1 && C[0].Positive && C[0].Var <= 1)
+      ++Singles;
+  EXPECT_EQ(Singles, 2);
+}
+
+TEST_F(CubeSearchTest, FalseFindsContradictions) {
+  // The enforce computation: mutually exclusive predicates.
+  CubeSearch CS = make();
+  auto V = preds({"x == 1", "x == 2"});
+  Dnf D = CS.findContradictions(V);
+  EXPECT_TRUE(CS.findF(V, Ctx.falseE()).empty());
+  ASSERT_EQ(D.size(), 1u);
+  ASSERT_EQ(D[0].size(), 2u);
+  EXPECT_TRUE(D[0][0].Positive);
+  EXPECT_TRUE(D[0][1].Positive);
+}
+
+TEST_F(CubeSearchTest, MaxCubeLengthTrades) {
+  CubeSearchOptions Short;
+  Short.MaxCubeLength = 1;
+  CubeSearch CS = make(Short);
+  auto V = preds({"*p <= 0", "x == 0"});
+  // Needs a 2-cube; with k=1 nothing is found (precision loss).
+  EXPECT_TRUE(CS.findF(V, parse("*p + x <= 0")).empty());
+  CubeSearch Full = make();
+  EXPECT_FALSE(Full.findF(V, parse("*p + x <= 0")).empty());
+}
+
+TEST_F(CubeSearchTest, ConeOfInfluenceSavesQueries) {
+  auto V = preds({"x < 5", "x == 2", "a == 1", "b == 2", "c == 3"});
+  CubeSearchOptions NoCone;
+  NoCone.ConeOfInfluence = false;
+  NoCone.SyntacticFastPaths = false;
+  NoCone.CacheResults = false;
+  CubeSearch CS1 = make(NoCone);
+  CS1.findF(V, parse("x < 4"));
+  uint64_t Without = CS1.cubesChecked();
+
+  CubeSearchOptions Cone;
+  Cone.SyntacticFastPaths = false;
+  Cone.CacheResults = false;
+  CubeSearch CS2 = make(Cone);
+  Dnf D = CS2.findF(V, parse("x < 4"));
+  uint64_t With = CS2.cubesChecked();
+  EXPECT_LT(With, Without);
+  // Same result.
+  ASSERT_EQ(D.size(), 1u);
+  EXPECT_EQ(D[0][0].Var, 1);
+}
+
+TEST_F(CubeSearchTest, SyntacticFastPathNeedsNoProver) {
+  auto V = preds({"x < 5", "x == 2"});
+  CubeSearch CS = make();
+  Dnf D = CS.findF(V, parse("x == 2"));
+  ASSERT_EQ(D.size(), 1u);
+  EXPECT_EQ(D[0][0].Var, 1);
+  EXPECT_EQ(CS.cubesChecked(), 0u);
+  // Negation fast path.
+  Dnf DN = CS.findF(V, parse("x != 2"));
+  ASSERT_EQ(DN.size(), 1u);
+  EXPECT_FALSE(DN[0][0].Positive);
+  EXPECT_EQ(CS.cubesChecked(), 0u);
+}
+
+TEST_F(CubeSearchTest, CachingAvoidsRecomputation) {
+  auto V = preds({"x < 5", "x == 2"});
+  CubeSearchOptions O;
+  O.SyntacticFastPaths = false;
+  CubeSearch CS = make(O);
+  CS.findF(V, parse("x < 4"));
+  uint64_t Once = CS.cubesChecked();
+  CS.findF(V, parse("x < 4"));
+  EXPECT_EQ(CS.cubesChecked(), Once);
+}
+
+TEST_F(CubeSearchTest, DistributionThroughAnd) {
+  CubeSearchOptions O;
+  O.DistributeF = true;
+  CubeSearch CS = make(O);
+  auto V = preds({"x == 0", "y == 0"});
+  Dnf D = CS.findF(V, parse("x <= 0 && y <= 0"));
+  ASSERT_EQ(D.size(), 1u);
+  EXPECT_EQ(D[0].size(), 2u);
+}
+
+TEST_F(CubeSearchTest, GViaConcretization) {
+  // G_V(phi) = !E(F_V(!phi)): with V = {x < 5}, G(x < 7) is true
+  // (nothing over V implies x >= 7), while G(x < 5) is {x < 5}.
+  CubeSearch CS = make();
+  auto V = preds({"x < 5"});
+  EXPECT_TRUE(CS.concretizeF(V, parse("!(x < 7)"))->isFalse());
+  EXPECT_EQ(CS.concretizeF(V, parse("x < 5")), parse("x < 5"));
+}
+
+// Property sweep: for every found implicant cube c, the prover agrees
+// E(c) => phi, across a family of bound predicates.
+class CubeSoundness : public CubeSearchTest,
+                      public ::testing::WithParamInterface<int> {};
+
+TEST_P(CubeSoundness, ImplicantsReallyImply) {
+  int K = GetParam();
+  auto V = preds({"x < " + std::to_string(K), "x == " + std::to_string(K - 2),
+                  "x > " + std::to_string(K + 3)});
+  ExprRef Phi = parse("x < " + std::to_string(K + 1));
+  CubeSearch CS = make();
+  for (const Cube &C : CS.findF(V, Phi)) {
+    ExprRef EC = CS.concretize(V, C);
+    EXPECT_EQ(P.implies(EC, Phi), prover::Validity::Valid)
+        << EC->str() << " => " << Phi->str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, CubeSoundness,
+                         ::testing::Values(-3, 0, 2, 7, 50));
+
+} // namespace

@@ -1,0 +1,230 @@
+//===- InterpTest.cpp - Reference interpreter -------------------------------===//
+
+#include "cfront/Interp.h"
+
+#include "cfront/Normalize.h"
+#include "logic/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace slam;
+using namespace slam::cfront;
+
+namespace {
+
+class InterpTest : public ::testing::Test {
+protected:
+  std::unique_ptr<Program> load(const std::string &Source) {
+    DiagnosticEngine Diags;
+    auto P = frontend(Source, Diags);
+    EXPECT_TRUE(P != nullptr) << Diags.str();
+    return P;
+  }
+
+  logic::ExprRef parse(const std::string &Text) {
+    DiagnosticEngine Diags;
+    return logic::parseExpr(Ctx, Text, Diags);
+  }
+
+  logic::LogicContext Ctx;
+};
+
+TEST_F(InterpTest, ArithmeticAndReturn) {
+  auto P = load("int f(int x) { int y; y = x * 2 + 1; return y; }");
+  Interpreter I(*P, 1);
+  auto Out = I.run("f", {Value::makeInt(20)});
+  EXPECT_EQ(Out, Interpreter::Outcome::Finished);
+  ASSERT_TRUE(I.returnValue().has_value());
+  EXPECT_EQ(I.returnValue()->I, 41);
+}
+
+TEST_F(InterpTest, LoopsAndBreak) {
+  auto P = load(R"(
+    int f(int n) {
+      int s;
+      s = 0;
+      while (n > 0) {
+        if (n == 3)
+          break;
+        s = s + n;
+        n = n - 1;
+      }
+      return s;
+    }
+  )");
+  Interpreter I(*P, 1);
+  I.run("f", {Value::makeInt(5)});
+  EXPECT_EQ(I.returnValue()->I, 5 + 4); // Stops at n == 3.
+}
+
+TEST_F(InterpTest, GotoFlow) {
+  auto P = load(R"(
+    int f(int x) {
+      int r;
+      r = 0;
+      top: r = r + x;
+      x = x - 1;
+      if (x > 0) goto top;
+      return r;
+    }
+  )");
+  Interpreter I(*P, 1);
+  I.run("f", {Value::makeInt(4)});
+  EXPECT_EQ(I.returnValue()->I, 4 + 3 + 2 + 1);
+}
+
+TEST_F(InterpTest, RecursionAndCalls) {
+  auto P = load(R"(
+    int fact(int n) {
+      int r;
+      if (n <= 1) { return 1; }
+      r = fact(n - 1);
+      return r * n;
+    }
+  )");
+  Interpreter I(*P, 1);
+  I.run("fact", {Value::makeInt(5)});
+  EXPECT_EQ(I.returnValue()->I, 120);
+}
+
+TEST_F(InterpTest, PointersAndAddressOf) {
+  auto P = load(R"(
+    void f() {
+      int x;
+      int *p;
+      x = 1;
+      p = &x;
+      *p = 42;
+      assert(x == 42);
+    }
+  )");
+  Interpreter I(*P, 1);
+  EXPECT_EQ(I.run("f", {}), Interpreter::Outcome::Finished);
+}
+
+TEST_F(InterpTest, StructsAndLists) {
+  auto P = load(R"(
+    typedef struct cell { int val; struct cell *next; } *list;
+    int sum(list l) {
+      int s;
+      s = 0;
+      while (l != NULL) {
+        s = s + l->val;
+        l = l->next;
+      }
+      return s;
+    }
+  )");
+  Interpreter I(*P, 1);
+  const RecordDecl *Rec = P->Types.findRecord("cell");
+  int N1 = I.allocStruct(Rec), N2 = I.allocStruct(Rec);
+  I.setField(N1, "val", Value::makeInt(10));
+  I.setField(N1, "next", Value::makePtr(N2));
+  I.setField(N2, "val", Value::makeInt(32));
+  I.run("sum", {Value::makePtr(N1)});
+  EXPECT_EQ(I.returnValue()->I, 42);
+}
+
+TEST_F(InterpTest, Arrays) {
+  auto P = load(R"(
+    int a[4];
+    int f() {
+      int i;
+      int s;
+      i = 0;
+      s = 0;
+      while (i < 4) {
+        a[i] = i * i;
+        s = s + a[i];
+        i = i + 1;
+      }
+      return s;
+    }
+  )");
+  Interpreter I(*P, 1);
+  I.run("f", {});
+  EXPECT_EQ(I.returnValue()->I, 0 + 1 + 4 + 9);
+}
+
+TEST_F(InterpTest, AssertFailureStops) {
+  auto P = load("void f(int x) { assert(x > 0); x = 1; }");
+  Interpreter I(*P, 1);
+  EXPECT_EQ(I.run("f", {Value::makeInt(-1)}),
+            Interpreter::Outcome::AssertFailed);
+  ASSERT_TRUE(I.stopStmt() != nullptr);
+  EXPECT_EQ(I.stopStmt()->Kind, CStmtKind::Assert);
+}
+
+TEST_F(InterpTest, NullDereferenceIsRuntimeError) {
+  auto P = load(R"(
+    struct s { int v; };
+    void f(struct s *p) { p->v = 1; }
+  )");
+  Interpreter I(*P, 1);
+  EXPECT_EQ(I.run("f", {Value::null()}),
+            Interpreter::Outcome::RuntimeError);
+}
+
+TEST_F(InterpTest, StepLimitOnInfiniteLoop) {
+  auto P = load("void f() { int x; x = 0; while (x == 0) { x = 0; } }");
+  Interpreter I(*P, 1);
+  EXPECT_EQ(I.run("f", {}, nullptr, 1000),
+            Interpreter::Outcome::StepLimit);
+}
+
+TEST_F(InterpTest, ExternHandlerAndDeterminism) {
+  auto P = load(R"(
+    int nondet();
+    int f() { int x; x = nondet(); return x; }
+  )");
+  Interpreter I(*P, 7);
+  I.setExternHandler("nondet",
+                     [](Interpreter &, std::vector<Value> &) {
+                       return Value::makeInt(99);
+                     });
+  I.run("f", {});
+  EXPECT_EQ(I.returnValue()->I, 99);
+  // Without a handler, values are seeded-deterministic.
+  auto P2 = load("int nondet(); int g() { int x; x = nondet(); return x; }");
+  Interpreter A(*P2, 7), B(*P2, 7);
+  A.run("g", {});
+  B.run("g", {});
+  EXPECT_EQ(A.returnValue()->I, B.returnValue()->I);
+}
+
+TEST_F(InterpTest, EvalLogicAgainstState) {
+  auto P = load(R"(
+    typedef struct cell { int val; struct cell *next; } *list;
+    void f(list curr, int v) {
+      L: assert(curr != NULL);
+    }
+  )");
+  Interpreter I(*P, 1);
+  const RecordDecl *Rec = P->Types.findRecord("cell");
+  int N = I.allocStruct(Rec);
+  I.setField(N, "val", Value::makeInt(7));
+
+  struct Probe : StepHook {
+    Interpreter *I = nullptr;
+    logic::LogicContext *Ctx = nullptr;
+    std::optional<Value> CurrNonNull, ValGtV, Undefined;
+    void onStep(const Stmt &, bool) override {
+      DiagnosticEngine D;
+      CurrNonNull = I->evalLogic(logic::parseExpr(*Ctx, "curr != NULL", D));
+      ValGtV = I->evalLogic(logic::parseExpr(*Ctx, "curr->val > v", D));
+      Undefined = I->evalLogic(logic::parseExpr(*Ctx, "mystery->val", D));
+    }
+    void afterStore(const Stmt &) override {}
+  } Probe;
+  Probe.I = &I;
+  Probe.Ctx = &Ctx;
+
+  I.run("f", {Value::makePtr(N), Value::makeInt(3)}, &Probe);
+  ASSERT_TRUE(Probe.CurrNonNull.has_value());
+  EXPECT_EQ(Probe.CurrNonNull->I, 1);
+  ASSERT_TRUE(Probe.ValGtV.has_value());
+  EXPECT_EQ(Probe.ValGtV->I, 1); // 7 > 3.
+  EXPECT_FALSE(Probe.Undefined.has_value());
+}
+
+} // namespace

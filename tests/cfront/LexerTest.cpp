@@ -1,0 +1,80 @@
+//===- LexerTest.cpp -------------------------------------------------------===//
+
+#include "cfront/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace slam;
+using namespace slam::cfront;
+
+namespace {
+
+std::vector<TokKind> kindsOf(const std::string &Source) {
+  std::vector<TokKind> Kinds;
+  for (const Token &T : tokenize(Source))
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+TEST(Lexer, EmptyInput) {
+  auto Tokens = tokenize("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokKind::End);
+}
+
+TEST(Lexer, KeywordsVsIdentifiers) {
+  auto Kinds = kindsOf("int intx while whilex NULL null");
+  EXPECT_EQ(Kinds, (std::vector<TokKind>{
+                       TokKind::KwInt, TokKind::Ident, TokKind::KwWhile,
+                       TokKind::Ident, TokKind::KwNull, TokKind::Ident,
+                       TokKind::End}));
+}
+
+TEST(Lexer, TwoCharOperators) {
+  auto Kinds = kindsOf("-> == != <= >= && || = < >");
+  EXPECT_EQ(Kinds, (std::vector<TokKind>{
+                       TokKind::Arrow, TokKind::EqEq, TokKind::BangEq,
+                       TokKind::Le, TokKind::Ge, TokKind::AmpAmp,
+                       TokKind::PipePipe, TokKind::Assign, TokKind::Lt,
+                       TokKind::Gt, TokKind::End}));
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto Kinds = kindsOf("x // line comment\n /* block\n comment */ y");
+  EXPECT_EQ(Kinds, (std::vector<TokKind>{TokKind::Ident, TokKind::Ident,
+                                         TokKind::End}));
+}
+
+TEST(Lexer, IntegerValues) {
+  auto Tokens = tokenize("42 0 1234567");
+  ASSERT_GE(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].IntValue, 42);
+  EXPECT_EQ(Tokens[1].IntValue, 0);
+  EXPECT_EQ(Tokens[2].IntValue, 1234567);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto Tokens = tokenize("a\n  bb\n c");
+  ASSERT_GE(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Col, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Col, 3u);
+  EXPECT_EQ(Tokens[2].Loc.Line, 3u);
+  EXPECT_EQ(Tokens[2].Loc.Col, 2u);
+}
+
+TEST(Lexer, CountLines) {
+  EXPECT_EQ(countLines(""), 0u);
+  EXPECT_EQ(countLines("one line"), 1u);
+  EXPECT_EQ(countLines("a\nb\n"), 2u);
+  EXPECT_EQ(countLines("a\nb"), 2u);
+}
+
+TEST(Lexer, ErrorTokenForStrayCharacter) {
+  auto Tokens = tokenize("x @ y");
+  EXPECT_EQ(Tokens[1].Kind, TokKind::Error);
+  EXPECT_EQ(Tokens[1].Text, "@");
+}
+
+} // namespace

@@ -1,0 +1,253 @@
+//===- NormalizeTest.cpp - Simple intermediate form ------------------------===//
+
+#include "cfront/Normalize.h"
+
+#include <gtest/gtest.h>
+
+using namespace slam;
+using namespace slam::cfront;
+
+namespace {
+
+class NormalizeTest : public ::testing::Test {
+protected:
+  std::unique_ptr<Program> norm(const std::string &Source) {
+    DiagnosticEngine Diags;
+    auto P = frontend(Source, Diags);
+    EXPECT_TRUE(P != nullptr) << Diags.str();
+    return P;
+  }
+
+  void expectError(const std::string &Source, const std::string &Needle) {
+    DiagnosticEngine Diags;
+    auto P = frontend(Source, Diags);
+    EXPECT_EQ(P, nullptr);
+    EXPECT_NE(Diags.str().find(Needle), std::string::npos) << Diags.str();
+  }
+
+  /// Checks the Section 4 invariant: every Deref / arrow / index base is
+  /// a plain variable and no Call appears below statement level.
+  static void checkSimpleExpr(const Expr &E, bool TopCall = false) {
+    EXPECT_TRUE(E.Kind != CExprKind::Call || TopCall)
+        << "nested call survived normalization: " << E.str();
+    if (E.Kind == CExprKind::Unary && E.UOp == UnaryOp::Deref) {
+      EXPECT_EQ(E.Ops[0]->Kind, CExprKind::VarRef) << E.str();
+    }
+    if (E.Kind == CExprKind::Member && E.IsArrow) {
+      EXPECT_EQ(E.Ops[0]->Kind, CExprKind::VarRef) << E.str();
+    }
+    if (E.Kind == CExprKind::Index) {
+      EXPECT_EQ(E.Ops[0]->Kind, CExprKind::VarRef) << E.str();
+    }
+    for (const Expr *Op : E.Ops)
+      checkSimpleExpr(*Op);
+  }
+
+  static void checkSimpleStmt(const Stmt &S) {
+    if (S.Lhs)
+      checkSimpleExpr(*S.Lhs);
+    if (S.Rhs)
+      checkSimpleExpr(*S.Rhs);
+    if (S.Cond)
+      checkSimpleExpr(*S.Cond);
+    if (S.CallE)
+      checkSimpleExpr(*S.CallE, /*TopCall=*/true);
+    for (const Stmt *Sub : {S.Then, S.Else, S.Body, S.Sub})
+      if (Sub)
+        checkSimpleStmt(*Sub);
+    for (const Stmt *Sub : S.Stmts)
+      checkSimpleStmt(*Sub);
+  }
+};
+
+TEST_F(NormalizeTest, HoistsNestedCall) {
+  // The paper's example: z = x + f(y)  =>  t = f(y); z = x + t.
+  auto P = norm(R"(
+    int f(int y) { return y; }
+    void g(int x, int y) {
+      int z;
+      z = x + f(y);
+    }
+  )");
+  FuncDecl *G = P->Functions[1];
+  ASSERT_EQ(G->Body->Stmts.size(), 2u);
+  EXPECT_EQ(G->Body->Stmts[0]->Kind, CStmtKind::CallStmt);
+  EXPECT_EQ(G->Body->Stmts[1]->Kind, CStmtKind::Assign);
+  EXPECT_EQ(G->Body->Stmts[1]->Rhs->str(), "x + __t0");
+  checkSimpleStmt(*G->Body);
+}
+
+TEST_F(NormalizeTest, SplitsDoubleDeref) {
+  auto P = norm(R"(
+    void f(int **pp) {
+      int x;
+      x = **pp;
+    }
+  )");
+  FuncDecl *F = P->Functions[0];
+  ASSERT_EQ(F->Body->Stmts.size(), 2u);
+  EXPECT_EQ(F->Body->Stmts[0]->Lhs->str(), "__t0");
+  EXPECT_EQ(F->Body->Stmts[0]->Rhs->str(), "*pp");
+  EXPECT_EQ(F->Body->Stmts[1]->Rhs->str(), "*__t0");
+  checkSimpleStmt(*F->Body);
+}
+
+TEST_F(NormalizeTest, SplitsArrowChains) {
+  auto P = norm(R"(
+    struct cell { int val; struct cell *next; };
+    void f(struct cell *p) {
+      int v;
+      v = p->next->next->val;
+    }
+  )");
+  checkSimpleStmt(*P->Functions[0]->Body);
+  EXPECT_EQ(P->Functions[0]->Body->Stmts.size(), 3u);
+}
+
+TEST_F(NormalizeTest, DotOnDerefBecomesArrow) {
+  auto P = norm(R"(
+    struct s { int f; };
+    void g(struct s *p) {
+      int x;
+      x = (*p).f;
+    }
+  )");
+  Stmt *S = P->Functions[0]->Body->Stmts[0];
+  EXPECT_EQ(S->Rhs->str(), "p->f");
+}
+
+TEST_F(NormalizeTest, ScalarConditionsBecomeComparisons) {
+  auto P = norm(R"(
+    struct node { int mark; struct node *next; };
+    void f(struct node *p, int x) {
+      while (p)
+        p = p->next;
+      if (x) x = 0;
+      if (!x) x = 1;
+    }
+  )");
+  FuncDecl *F = P->Functions[0];
+  EXPECT_EQ(F->Body->Stmts[0]->Cond->str(), "p != NULL");
+  EXPECT_EQ(F->Body->Stmts[1]->Cond->str(), "x != 0");
+  EXPECT_EQ(F->Body->Stmts[2]->Cond->str(), "!(x != 0)");
+}
+
+TEST_F(NormalizeTest, WhileConditionWithCallLowers) {
+  auto P = norm(R"(
+    int more() { return 1; }
+    void f() {
+      int n;
+      n = 0;
+      while (more())
+        n = n + 1;
+    }
+  )");
+  FuncDecl *F = P->Functions[1];
+  // while(1) { t = more(); if (!(t != 0)) break; body }
+  Stmt *W = F->Body->Stmts[1];
+  ASSERT_EQ(W->Kind, CStmtKind::While);
+  EXPECT_EQ(W->Cond->str(), "1 != 0");
+  ASSERT_EQ(W->Body->Kind, CStmtKind::Block);
+  EXPECT_EQ(W->Body->Stmts[0]->Kind, CStmtKind::CallStmt);
+  EXPECT_EQ(W->Body->Stmts[1]->Kind, CStmtKind::If);
+  EXPECT_EQ(W->Body->Stmts[1]->Then->Kind, CStmtKind::Break);
+  checkSimpleStmt(*F->Body);
+}
+
+TEST_F(NormalizeTest, SingleTrailingReturnKept) {
+  auto P = norm(R"(
+    int id(int x) { return x; }
+  )");
+  FuncDecl *F = P->Functions[0];
+  ASSERT_EQ(F->Body->Stmts.size(), 1u);
+  EXPECT_EQ(F->Body->Stmts.back()->Kind, CStmtKind::Return);
+  // No __retval local was synthesized.
+  EXPECT_EQ(F->findLocalOrParam("__retval"), nullptr);
+}
+
+TEST_F(NormalizeTest, MultipleReturnsFunnelThroughRetval) {
+  auto P = norm(R"(
+    int sign(int x) {
+      if (x > 0) return 1;
+      if (x < 0) return -1;
+      return 0;
+    }
+  )");
+  FuncDecl *F = P->Functions[0];
+  ASSERT_TRUE(F->findLocalOrParam("__retval") != nullptr);
+  // Body ends with `__exit: return __retval;`.
+  Stmt *Last = F->Body->Stmts.back();
+  ASSERT_EQ(Last->Kind, CStmtKind::Label);
+  EXPECT_EQ(Last->LabelName, "__exit");
+  ASSERT_EQ(Last->Sub->Kind, CStmtKind::Return);
+  EXPECT_EQ(Last->Sub->Rhs->str(), "__retval");
+  // Exactly one Return remains in the whole body.
+  unsigned Returns = 0;
+  std::function<void(const Stmt &)> Walk = [&](const Stmt &S) {
+    if (S.Kind == CStmtKind::Return)
+      ++Returns;
+    for (const Stmt *Sub : {S.Then, S.Else, S.Body, S.Sub})
+      if (Sub)
+        Walk(*Sub);
+    for (const Stmt *Sub : S.Stmts)
+      Walk(*Sub);
+  };
+  Walk(*F->Body);
+  EXPECT_EQ(Returns, 1u);
+}
+
+TEST_F(NormalizeTest, CompoundReturnValueHoisted) {
+  auto P = norm("int f(int x) { return x + 1; }");
+  FuncDecl *F = P->Functions[0];
+  ASSERT_TRUE(F->findLocalOrParam("__retval") != nullptr);
+  EXPECT_EQ(F->Body->Stmts[0]->Kind, CStmtKind::Assign);
+  EXPECT_EQ(F->Body->Stmts[0]->Lhs->str(), "__retval");
+}
+
+TEST_F(NormalizeTest, RejectsBooleanAsValue) {
+  expectError("void f(int x) { int y; y = x < 3; }",
+              "boolean expression used as a value");
+  expectError("void f(int x) { int y; y = !x; }", "boolean operator");
+}
+
+TEST_F(NormalizeTest, RejectsCallUnderShortCircuit) {
+  expectError(R"(
+    int t() { return 1; }
+    void f(int x) {
+      if (x > 0 && t() > 0) x = 1;
+    }
+  )",
+              "not allowed under");
+}
+
+TEST_F(NormalizeTest, PartitionNormalizesCleanly) {
+  auto P = norm(R"(
+    typedef struct cell { int val; struct cell* next; } *list;
+    list partition(list *l, int v) {
+      list curr, prev, newl, nextcurr;
+      curr = *l;
+      prev = NULL;
+      newl = NULL;
+      while (curr != NULL) {
+        nextcurr = curr->next;
+        if (curr->val > v) {
+          if (prev != NULL)
+            prev->next = nextcurr;
+          if (curr == *l)
+            *l = nextcurr;
+          curr->next = newl;
+          L: newl = curr;
+        } else {
+          prev = curr;
+        }
+        curr = nextcurr;
+      }
+      return newl;
+    }
+  )");
+  checkSimpleStmt(*P->Functions[0]->Body);
+  // No temporaries were needed: the program is already in simple form.
+  EXPECT_EQ(P->Functions[0]->Locals.size(), 4u);
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+//===- ExprTest.cpp - Interning and smart-constructor laws ----------------===//
+
+#include "logic/Expr.h"
+
+#include <gtest/gtest.h>
+
+using namespace slam::logic;
+
+namespace {
+
+class ExprTest : public ::testing::Test {
+protected:
+  LogicContext Ctx;
+};
+
+TEST_F(ExprTest, InterningGivesPointerEquality) {
+  ExprRef A = Ctx.add(Ctx.var("x"), Ctx.intLit(1));
+  ExprRef B = Ctx.add(Ctx.var("x"), Ctx.intLit(1));
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, Ctx.add(Ctx.var("x"), Ctx.intLit(2)));
+}
+
+TEST_F(ExprTest, ConstantFoldingArith) {
+  EXPECT_EQ(Ctx.add(Ctx.intLit(2), Ctx.intLit(3)), Ctx.intLit(5));
+  EXPECT_EQ(Ctx.sub(Ctx.intLit(2), Ctx.intLit(3)), Ctx.intLit(-1));
+  EXPECT_EQ(Ctx.mul(Ctx.intLit(4), Ctx.intLit(3)), Ctx.intLit(12));
+  EXPECT_EQ(Ctx.neg(Ctx.intLit(7)), Ctx.intLit(-7));
+  EXPECT_EQ(Ctx.neg(Ctx.neg(Ctx.var("x"))), Ctx.var("x"));
+}
+
+TEST_F(ExprTest, AdditiveIdentities) {
+  ExprRef X = Ctx.var("x");
+  EXPECT_EQ(Ctx.add(X, Ctx.intLit(0)), X);
+  EXPECT_EQ(Ctx.add(Ctx.intLit(0), X), X);
+  EXPECT_EQ(Ctx.mul(X, Ctx.intLit(1)), X);
+  EXPECT_EQ(Ctx.mul(X, Ctx.intLit(0)), Ctx.intLit(0));
+}
+
+TEST_F(ExprTest, ConstantFoldingCompare) {
+  EXPECT_TRUE(Ctx.lt(Ctx.intLit(1), Ctx.intLit(2))->isTrue());
+  EXPECT_TRUE(Ctx.ge(Ctx.intLit(1), Ctx.intLit(2))->isFalse());
+  EXPECT_TRUE(Ctx.eq(Ctx.var("x"), Ctx.var("x"))->isTrue());
+  EXPECT_TRUE(Ctx.ne(Ctx.var("x"), Ctx.var("x"))->isFalse());
+  EXPECT_TRUE(Ctx.le(Ctx.var("x"), Ctx.var("x"))->isTrue());
+}
+
+TEST_F(ExprTest, NotPushesThroughComparisons) {
+  ExprRef Cmp = Ctx.lt(Ctx.var("x"), Ctx.intLit(5));
+  EXPECT_EQ(Ctx.notE(Cmp), Ctx.ge(Ctx.var("x"), Ctx.intLit(5)));
+  EXPECT_EQ(Ctx.notE(Ctx.notE(Cmp)), Cmp);
+  EXPECT_TRUE(Ctx.notE(Ctx.trueE())->isFalse());
+}
+
+TEST_F(ExprTest, AndOrUnits) {
+  ExprRef P = Ctx.lt(Ctx.var("x"), Ctx.intLit(5));
+  EXPECT_EQ(Ctx.andE(P, Ctx.trueE()), P);
+  EXPECT_TRUE(Ctx.andE(P, Ctx.falseE())->isFalse());
+  EXPECT_EQ(Ctx.orE(P, Ctx.falseE()), P);
+  EXPECT_TRUE(Ctx.orE(P, Ctx.trueE())->isTrue());
+  EXPECT_EQ(Ctx.andE(P, P), P);
+}
+
+TEST_F(ExprTest, AndFlattensAndDetectsContradiction) {
+  ExprRef P = Ctx.lt(Ctx.var("x"), Ctx.intLit(5));
+  ExprRef Q = Ctx.eq(Ctx.var("y"), Ctx.intLit(0));
+  ExprRef Nested = Ctx.andE(Ctx.andE(P, Q), P);
+  EXPECT_EQ(Nested->kind(), ExprKind::And);
+  EXPECT_EQ(Nested->numOperands(), 2u);
+  EXPECT_TRUE(Ctx.andE(P, Ctx.notE(P))->isFalse());
+  EXPECT_TRUE(Ctx.orE(P, Ctx.notE(P))->isTrue());
+}
+
+TEST_F(ExprTest, AddrOfDerefFolds) {
+  ExprRef P = Ctx.var("p");
+  EXPECT_EQ(Ctx.addrOf(Ctx.deref(P)), P);
+  EXPECT_EQ(Ctx.deref(Ctx.addrOf(Ctx.var("x"))), Ctx.var("x"));
+}
+
+TEST_F(ExprTest, PrintsCLikeSyntax) {
+  ExprRef Pred = Ctx.gt(Ctx.field(Ctx.deref(Ctx.var("curr")), "val"),
+                        Ctx.var("v"));
+  EXPECT_EQ(Pred->str(), "curr->val > v");
+
+  ExprRef Deep = Ctx.orE(
+      Ctx.andE(Ctx.ne(Ctx.var("curr"), Ctx.nullLit()),
+               Ctx.le(Ctx.var("x"), Ctx.intLit(0))),
+      Ctx.eq(Ctx.var("prev"), Ctx.nullLit()));
+  EXPECT_EQ(Deep->str(), "(curr != NULL && x <= 0) || prev == NULL");
+
+  EXPECT_EQ(Ctx.deref(Ctx.var("p"))->str(), "*p");
+  EXPECT_EQ(Ctx.addrOf(Ctx.var("p"))->str(), "&p");
+  EXPECT_EQ(Ctx.index(Ctx.var("a"), Ctx.add(Ctx.var("i"), Ctx.intLit(1)))
+                ->str(),
+            "a[i + 1]");
+  EXPECT_EQ(Ctx.field(Ctx.var("s"), "f")->str(), "s.f");
+}
+
+TEST_F(ExprTest, PrintsArithmeticPrecedence) {
+  ExprRef E = Ctx.mul(Ctx.add(Ctx.var("x"), Ctx.intLit(1)), Ctx.var("y"));
+  EXPECT_EQ(E->str(), "(x + 1) * y");
+  ExprRef F = Ctx.add(Ctx.mul(Ctx.var("x"), Ctx.intLit(2)), Ctx.var("y"));
+  EXPECT_EQ(F->str(), "x * 2 + y");
+}
+
+TEST_F(ExprTest, SizeCountsNodes) {
+  EXPECT_EQ(Ctx.var("x")->size(), 1u);
+  EXPECT_EQ(Ctx.add(Ctx.var("x"), Ctx.intLit(1))->size(), 3u);
+  // p->val is Field(Deref(Var)) = 3 nodes.
+  EXPECT_EQ(Ctx.field(Ctx.deref(Ctx.var("p")), "val")->size(), 3u);
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+//===- ProverTest.cpp - Validity queries as C2bp issues them ---------------===//
+
+#include "prover/Prover.h"
+
+#include "logic/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace slam;
+using namespace slam::prover;
+using namespace slam::logic;
+
+namespace {
+
+class ProverTest : public ::testing::Test {
+protected:
+  ProverTest() : P(Ctx, &Stats) {}
+
+  ExprRef parse(const std::string &Text) {
+    DiagnosticEngine Diags;
+    ExprRef E = parseExpr(Ctx, Text, Diags);
+    EXPECT_TRUE(E != nullptr) << Diags.str();
+    return E;
+  }
+
+  Validity implies(const std::string &A, const std::string &C) {
+    return P.implies(parse(A), parse(C));
+  }
+
+  LogicContext Ctx;
+  StatsRegistry Stats;
+  Prover P;
+};
+
+TEST_F(ProverTest, PaperSection41Example) {
+  // (x == 2) implies (x < 4); the F_V search relies on this query.
+  EXPECT_EQ(implies("x == 2", "x < 4"), Validity::Valid);
+  EXPECT_EQ(implies("x < 4", "x == 2"), Validity::Invalid);
+}
+
+TEST_F(ProverTest, TautologiesAndContradictions) {
+  EXPECT_EQ(P.checkSat(Ctx.trueE()), Satisfiability::Sat);
+  EXPECT_EQ(P.checkSat(Ctx.falseE()), Satisfiability::Unsat);
+  EXPECT_EQ(implies("x == 1", "x == 1"), Validity::Valid);
+  EXPECT_EQ(implies("x == 1 && x == 2", "y == 3"), Validity::Valid);
+}
+
+TEST_F(ProverTest, DisjunctiveReasoning) {
+  EXPECT_EQ(implies("x == 1 || x == 2", "x >= 1"), Validity::Valid);
+  EXPECT_EQ(implies("x == 1 || x == 2", "x <= 1"), Validity::Invalid);
+  EXPECT_EQ(implies("x >= 1 && x <= 2", "x == 1 || x == 2"),
+            Validity::Valid);
+}
+
+TEST_F(ProverTest, PartitionInvariantImpliesNoAlias) {
+  // Section 2.2's decision-procedure step: the Bebop invariant at L
+  // implies prev != curr.
+  EXPECT_EQ(implies("curr != NULL && curr->val > v && "
+                    "(prev->val <= v || prev == NULL)",
+                    "prev != curr"),
+            Validity::Valid);
+}
+
+TEST_F(ProverTest, WeakestPreconditionStrengthening) {
+  // E(F_V(x < 4)) = (x == 2) from E = {x < 5, x == 2}: check both
+  // candidate cubes the search would try.
+  EXPECT_EQ(implies("x < 5", "x < 4"), Validity::Invalid);
+  EXPECT_EQ(implies("x == 2", "x < 4"), Validity::Valid);
+  EXPECT_EQ(implies("x < 5 && x == 2", "x < 4"), Validity::Valid);
+}
+
+TEST_F(ProverTest, Figure2AbstractionQueries) {
+  // E(F_V(*p + x <= 0)) = (*p <= 0) && (x == 0).
+  EXPECT_EQ(implies("*p <= 0 && x == 0", "*p + x <= 0"), Validity::Valid);
+  EXPECT_EQ(implies("*p <= 0", "*p + x <= 0"), Validity::Invalid);
+  EXPECT_EQ(implies("x == 0", "*p + x <= 0"), Validity::Invalid);
+  // And the negative side: !(*p <= 0) && x == 0 implies !(*p + x <= 0).
+  EXPECT_EQ(implies("!(*p <= 0) && x == 0", "!(*p + x <= 0)"),
+            Validity::Valid);
+}
+
+TEST_F(ProverTest, CachingCountsHits) {
+  EXPECT_EQ(implies("x == 2", "x < 4"), Validity::Valid);
+  uint64_t Calls = P.numCalls();
+  EXPECT_EQ(implies("x == 2", "x < 4"), Validity::Valid);
+  EXPECT_EQ(P.numCalls(), Calls);
+  EXPECT_GE(P.numCacheHits(), 1u);
+  EXPECT_EQ(Stats.get("prover.cache_hits"), P.numCacheHits());
+}
+
+TEST_F(ProverTest, CachingCanBeDisabled) {
+  P.setCachingEnabled(false);
+  EXPECT_EQ(implies("y == 2", "y < 4"), Validity::Valid);
+  uint64_t Calls = P.numCalls();
+  EXPECT_EQ(implies("y == 2", "y < 4"), Validity::Valid);
+  EXPECT_EQ(P.numCalls(), Calls + 1);
+}
+
+TEST_F(ProverTest, PointerReasoning) {
+  EXPECT_EQ(implies("p == q", "p->val == q->val"), Validity::Valid);
+  EXPECT_EQ(implies("p->val != q->val", "p != q"), Validity::Valid);
+  EXPECT_EQ(implies("p != q", "p->val != q->val"), Validity::Invalid);
+  EXPECT_EQ(implies("p == &x && q == &x", "p == q"), Validity::Valid);
+}
+
+TEST_F(ProverTest, HeapShapePredicates) {
+  // From the mark/reverse example's predicate set.
+  EXPECT_EQ(implies("this == h && this->next == hnext",
+                    "h->next == hnext"),
+            Validity::Valid);
+  EXPECT_EQ(implies("prev == h && h != 0", "prev != 0"), Validity::Valid);
+}
+
+TEST_F(ProverTest, ModularArithmeticIsUninterpretedButCongruent) {
+  EXPECT_EQ(implies("x == y", "x % 2 == y % 2"), Validity::Valid);
+  // No arithmetic meaning: cannot conclude x % 2 < 2.
+  EXPECT_EQ(implies("x >= 0", "x % 2 < 2"), Validity::Invalid);
+}
+
+// Property-style sweep: k and k+1 bounds interact correctly for a range
+// of constants, exercising normalization of strict/non-strict bounds.
+class ProverBoundsSweep : public ProverTest,
+                          public ::testing::WithParamInterface<int> {};
+
+TEST_P(ProverBoundsSweep, StrictVsNonStrict) {
+  int K = GetParam();
+  std::string KS = std::to_string(K);
+  std::string K1 = std::to_string(K + 1);
+  // x > k <=> x >= k+1 over the integers.
+  EXPECT_EQ(implies("x > " + KS, "x >= " + K1), Validity::Valid);
+  EXPECT_EQ(implies("x >= " + K1, "x > " + KS), Validity::Valid);
+  // x > k does not imply x > k+1.
+  EXPECT_EQ(implies("x > " + KS, "x > " + K1), Validity::Invalid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, ProverBoundsSweep,
+                         ::testing::Values(-7, -1, 0, 1, 5, 42, 1000));
+
+} // namespace

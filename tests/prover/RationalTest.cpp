@@ -1,0 +1,51 @@
+//===- RationalTest.cpp ----------------------------------------------------===//
+
+#include "prover/Rational.h"
+
+#include <gtest/gtest.h>
+
+using namespace slam::prover;
+
+TEST(Rational, NormalizesOnConstruction) {
+  Rational R(6, 4);
+  EXPECT_EQ(R.num(), 3);
+  EXPECT_EQ(R.den(), 2);
+  Rational N(3, -6);
+  EXPECT_EQ(N.num(), -1);
+  EXPECT_EQ(N.den(), 2);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational Half(1, 2), Third(1, 3);
+  EXPECT_EQ(Half + Third, Rational(5, 6));
+  EXPECT_EQ(Half - Third, Rational(1, 6));
+  EXPECT_EQ(Half * Third, Rational(1, 6));
+  EXPECT_EQ(Half / Third, Rational(3, 2));
+  EXPECT_EQ(-Half, Rational(-1, 2));
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(0), Rational(0, 5));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(Rational, IntegerPredicate) {
+  EXPECT_TRUE(Rational(8, 4).isInteger());
+  EXPECT_FALSE(Rational(8, 3).isInteger());
+}
+
+TEST(Rational, Printing) {
+  EXPECT_EQ(Rational(3).str(), "3");
+  EXPECT_EQ(Rational(-7, 2).str(), "-7/2");
+}

@@ -1,0 +1,82 @@
+//===- SatTest.cpp - DPLL core ---------------------------------------------===//
+
+#include "prover/Sat.h"
+
+#include <gtest/gtest.h>
+
+using namespace slam::prover;
+
+namespace {
+
+TEST(Sat, EmptyInstanceIsSat) {
+  SatSolver S;
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+}
+
+TEST(Sat, UnitClause) {
+  SatSolver S;
+  int A = S.newVar();
+  S.addClause({A + 1});
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+}
+
+TEST(Sat, ContradictoryUnits) {
+  SatSolver S;
+  int A = S.newVar();
+  S.addClause({A + 1});
+  S.addClause({-(A + 1)});
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(Sat, EmptyClauseIsUnsat) {
+  SatSolver S;
+  S.addClause({});
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(Sat, RequiresPropagationChain) {
+  // (a) (-a v b) (-b v c) forces c.
+  SatSolver S;
+  int A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.addClause({A + 1});
+  S.addClause({-(A + 1), B + 1});
+  S.addClause({-(B + 1), C + 1});
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+  EXPECT_TRUE(S.modelValue(C));
+}
+
+TEST(Sat, PigeonholeTwoIntoOne) {
+  // Two pigeons, one hole: p1 v-bar, classic tiny unsat.
+  SatSolver S;
+  int P1 = S.newVar(), P2 = S.newVar();
+  S.addClause({P1 + 1});       // Pigeon 1 in hole.
+  S.addClause({P2 + 1});       // Pigeon 2 in hole.
+  S.addClause({-(P1 + 1), -(P2 + 1)}); // Not both.
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(Sat, ReSolveAfterBlockingClause) {
+  SatSolver S;
+  int A = S.newVar(), B = S.newVar();
+  S.addClause({A + 1, B + 1});
+  ASSERT_EQ(S.solve(), SatSolver::Result::Sat);
+  // Block the found model, forcing a different one.
+  std::vector<int> Block;
+  Block.push_back(S.modelValue(A) ? -(A + 1) : (A + 1));
+  Block.push_back(S.modelValue(B) ? -(B + 1) : (B + 1));
+  S.addClause(Block);
+  ASSERT_EQ(S.solve(), SatSolver::Result::Sat);
+  // Block again; after at most three models the instance exhausts.
+  for (int I = 0; I != 3; ++I) {
+    if (S.solve() == SatSolver::Result::Unsat)
+      return;
+    std::vector<int> Next;
+    Next.push_back(S.modelValue(A) ? -(A + 1) : (A + 1));
+    Next.push_back(S.modelValue(B) ? -(B + 1) : (B + 1));
+    S.addClause(Next);
+  }
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+} // namespace

@@ -1,0 +1,43 @@
+//===- DiagnosticsTest.cpp ------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+using namespace slam;
+
+TEST(Diagnostics, StartsClean) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 0u);
+}
+
+TEST(Diagnostics, CountsOnlyErrors) {
+  DiagnosticEngine Diags;
+  Diags.warning(SourceLoc(1, 1), "w");
+  Diags.note(SourceLoc(1, 2), "n");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error(SourceLoc(2, 3), "e");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, RendersLikeACompiler) {
+  DiagnosticEngine Diags;
+  Diags.error(SourceLoc(4, 7), "expected ';'");
+  EXPECT_EQ(Diags.str(), "4:7: error: expected ';'\n");
+}
+
+TEST(Diagnostics, UnknownLocation) {
+  Diagnostic D{DiagKind::Warning, SourceLoc(), "msg"};
+  EXPECT_EQ(D.str(), "<unknown>: warning: msg");
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine Diags;
+  Diags.error(SourceLoc(1, 1), "e");
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.diagnostics().empty());
+}

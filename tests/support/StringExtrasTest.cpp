@@ -1,0 +1,42 @@
+//===- StringExtrasTest.cpp -----------------------------------------------===//
+
+#include "support/StringExtras.h"
+
+#include <gtest/gtest.h>
+
+using namespace slam;
+
+TEST(StringExtras, JoinEmpty) { EXPECT_EQ(join({}, ", "), ""); }
+
+TEST(StringExtras, JoinSingle) { EXPECT_EQ(join({"a"}, ", "), "a"); }
+
+TEST(StringExtras, JoinMany) {
+  EXPECT_EQ(join({"a", "b", "c"}, " && "), "a && b && c");
+}
+
+TEST(StringExtras, TrimBothSides) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(StringExtras, SplitAndTrimDropsEmpties) {
+  auto Parts = splitAndTrim(" a, b ,, c ,", ',');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[1], "b");
+  EXPECT_EQ(Parts[2], "c");
+}
+
+TEST(StringExtras, SplitSingleToken) {
+  auto Parts = splitAndTrim("hello", ';');
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(Parts[0], "hello");
+}
+
+TEST(StringExtras, StartsWith) {
+  EXPECT_TRUE(startsWith("proc foo:", "proc"));
+  EXPECT_FALSE(startsWith("pr", "proc"));
+  EXPECT_TRUE(startsWith("anything", ""));
+}

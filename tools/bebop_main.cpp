@@ -1,0 +1,85 @@
+//===- bebop_main.cpp - The bebop command-line tool -------------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// Usage: bebop <program.bp> [options]
+//
+//   --entry <proc>            entry procedure (default: main)
+//   --invariant <proc> <label> print the reachable-state invariant at a
+//                              labeled statement
+//   --trace                   print the counterexample trace on failure
+//
+//===----------------------------------------------------------------------===//
+
+#include "bebop/Bebop.h"
+#include "bp/BPParser.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace slam;
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bebop <program.bp> [options]\n");
+    return 2;
+  }
+  std::ifstream In(argv[1]);
+  if (!In) {
+    std::fprintf(stderr, "bebop: cannot read '%s'\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  std::string Entry = "main";
+  std::string InvProc, InvLabel;
+  bool PrintTrace = false;
+  for (int I = 2; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--entry") && I + 1 < argc) {
+      Entry = argv[++I];
+    } else if (!std::strcmp(argv[I], "--invariant") && I + 2 < argc) {
+      InvProc = argv[++I];
+      InvLabel = argv[++I];
+    } else if (!std::strcmp(argv[I], "--trace")) {
+      PrintTrace = true;
+    } else {
+      std::fprintf(stderr, "bebop: unknown option '%s'\n", argv[I]);
+      return 2;
+    }
+  }
+
+  DiagnosticEngine Diags;
+  auto P = bp::parseBProgram(Buf.str(), Diags);
+  if (!P || !bp::verifyBProgram(*P, Diags)) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  if (!P->findProc(Entry)) {
+    std::fprintf(stderr, "bebop: no procedure '%s'\n", Entry.c_str());
+    return 2;
+  }
+
+  bebop::Bebop Checker(*P);
+  auto R = Checker.run(Entry);
+  std::printf("assert violated: %s\n", R.AssertViolated ? "yes" : "no");
+  if (R.AssertViolated) {
+    std::printf("failing procedure: %s\n", R.FailingProc.c_str());
+    if (PrintTrace) {
+      std::printf("trace (%zu steps):\n", R.Trace.size());
+      for (const auto &Step : R.Trace)
+        std::printf("  [%s] %s", Step.ProcName.c_str(),
+                    Step.Stmt ? bp::printBStmt(*Step.Stmt).c_str()
+                              : "<entry>\n");
+    }
+  }
+  if (!InvProc.empty())
+    std::printf("invariant at %s:%s: %s\n", InvProc.c_str(),
+                InvLabel.c_str(),
+                Checker.invariantAtLabel(InvProc, InvLabel).c_str());
+  return R.AssertViolated ? 1 : 0;
+}

@@ -1,0 +1,112 @@
+//===- c2bp_main.cpp - The c2bp command-line tool ---------------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// Usage: c2bp <program.c> <predicates.txt> [options]
+//
+//   -k <n>          maximum cube length (default: unlimited)
+//   --no-cone       disable the cone-of-influence optimization
+//   --no-enforce    do not emit the enforce data invariant
+//   --no-alias      use the syntactic alias oracle only
+//   --alias <mode>  points-to mode: das (default), andersen, steensgaard
+//   --stats         print statistics to stderr
+//
+// Writes the boolean program BP(P, E) to stdout.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c2bp/C2bp.h"
+#include "cfront/Normalize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace slam;
+
+static bool readFile(const char *Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+int main(int argc, char **argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: c2bp <program.c> <predicates.txt> [options]\n");
+    return 2;
+  }
+  std::string Source, PredText;
+  if (!readFile(argv[1], Source)) {
+    std::fprintf(stderr, "c2bp: cannot read '%s'\n", argv[1]);
+    return 2;
+  }
+  if (!readFile(argv[2], PredText)) {
+    std::fprintf(stderr, "c2bp: cannot read '%s'\n", argv[2]);
+    return 2;
+  }
+
+  c2bp::C2bpOptions Options;
+  bool PrintStats = false;
+  for (int I = 3; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "-k") && I + 1 < argc) {
+      Options.Cubes.MaxCubeLength = std::atoi(argv[++I]);
+    } else if (!std::strcmp(argv[I], "--no-cone")) {
+      Options.Cubes.ConeOfInfluence = false;
+    } else if (!std::strcmp(argv[I], "--no-enforce")) {
+      Options.UseEnforce = false;
+    } else if (!std::strcmp(argv[I], "--no-alias")) {
+      Options.UseAliasAnalysis = false;
+    } else if (!std::strcmp(argv[I], "--alias") && I + 1 < argc) {
+      std::string Mode = argv[++I];
+      if (Mode == "das")
+        Options.AliasMode = alias::Mode::Das;
+      else if (Mode == "andersen")
+        Options.AliasMode = alias::Mode::Andersen;
+      else if (Mode == "steensgaard")
+        Options.AliasMode = alias::Mode::Steensgaard;
+      else {
+        std::fprintf(stderr, "c2bp: unknown alias mode '%s'\n",
+                     Mode.c_str());
+        return 2;
+      }
+    } else if (!std::strcmp(argv[I], "--stats")) {
+      PrintStats = true;
+    } else {
+      std::fprintf(stderr, "c2bp: unknown option '%s'\n", argv[I]);
+      return 2;
+    }
+  }
+
+  DiagnosticEngine Diags;
+  auto Program = cfront::frontend(Source, Diags);
+  if (!Program) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  logic::LogicContext Ctx;
+  auto Preds = c2bp::parsePredicateFile(Ctx, PredText, Diags);
+  if (!Preds) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  StatsRegistry Stats;
+  auto BP = c2bp::abstractProgram(*Program, *Preds, Ctx, Diags, Options,
+                                  &Stats);
+  if (!BP) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  std::printf("%s", BP->str().c_str());
+  if (PrintStats)
+    std::fprintf(stderr, "%s", Stats.str().c_str());
+  return 0;
+}

@@ -1,0 +1,125 @@
+//===- slam_main.cpp - The SLAM command-line driver -------------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// Usage: slam <program.c> [options]
+//
+//   --lock <acq>,<rel>      check the locking discipline on the two
+//                           named interface functions
+//   --irp <complete>,<pend> check the IRP completion discipline
+//   --entry <proc>          entry procedure (default: main)
+//   --max-iters <n>         refinement cap (default: 24)
+//   -k <n>                  cube length limit (default: 3)
+//
+// Without a property option, the program's own assert statements are
+// checked (starting from an empty predicate set).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Normalize.h"
+#include "slam/Cegar.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace slam;
+using slamtool::SlamResult;
+
+/// The logic context must outlive results that reference its terms.
+static logic::LogicContext &Ctx() {
+  static logic::LogicContext C;
+  return C;
+}
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: slam <program.c> [options]\n");
+    return 2;
+  }
+  std::ifstream In(argv[1]);
+  if (!In) {
+    std::fprintf(stderr, "slam: cannot read '%s'\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Source = Buf.str();
+
+  slamtool::SlamOptions Options;
+  Options.C2bp.Cubes.MaxCubeLength = 3;
+  bool HaveSpec = false;
+  slamtool::SafetySpec Spec;
+
+  auto SplitPair = [](const char *Arg, std::string &A, std::string &B) {
+    const char *Comma = std::strchr(Arg, ',');
+    if (!Comma)
+      return false;
+    A.assign(Arg, Comma);
+    B.assign(Comma + 1);
+    return !A.empty() && !B.empty();
+  };
+
+  for (int I = 2; I < argc; ++I) {
+    std::string A, B;
+    if (!std::strcmp(argv[I], "--lock") && I + 1 < argc &&
+        SplitPair(argv[I + 1], A, B)) {
+      Spec = slamtool::SafetySpec::lockDiscipline(A, B);
+      HaveSpec = true;
+      ++I;
+    } else if (!std::strcmp(argv[I], "--irp") && I + 1 < argc &&
+               SplitPair(argv[I + 1], A, B)) {
+      Spec = slamtool::SafetySpec::irpDiscipline(A, B);
+      HaveSpec = true;
+      ++I;
+    } else if (!std::strcmp(argv[I], "--entry") && I + 1 < argc) {
+      Options.EntryProc = argv[++I];
+    } else if (!std::strcmp(argv[I], "--max-iters") && I + 1 < argc) {
+      Options.MaxIterations = std::atoi(argv[++I]);
+    } else if (!std::strcmp(argv[I], "-k") && I + 1 < argc) {
+      Options.C2bp.Cubes.MaxCubeLength = std::atoi(argv[++I]);
+    } else {
+      std::fprintf(stderr, "slam: unknown option '%s'\n", argv[I]);
+      return 2;
+    }
+  }
+
+  DiagnosticEngine Diags;
+  StatsRegistry Stats;
+  std::optional<SlamResult> R;
+  if (HaveSpec) {
+    R = slamtool::checkSafety(Source, Spec, Ctx(), Diags, Options, &Stats);
+  } else {
+    auto P = cfront::frontend(Source, Diags);
+    if (P)
+      R = slamtool::checkProgram(*P, {}, Ctx(), Options, &Stats);
+  }
+  if (!R) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 2;
+  }
+
+  const char *Verdict =
+      R->V == SlamResult::Verdict::Validated  ? "VALIDATED"
+      : R->V == SlamResult::Verdict::BugFound ? "BUG FOUND"
+                                              : "UNKNOWN";
+  std::printf("verdict: %s\n", Verdict);
+  std::printf("iterations: %d\n", R->Iterations);
+  std::printf("predicates: %zu\n", R->Predicates.totalCount());
+  std::printf("prover calls: %llu\n",
+              static_cast<unsigned long long>(Stats.get("prover.calls")));
+  if (R->V == SlamResult::Verdict::BugFound) {
+    std::printf("error path (procedures entered): ");
+    std::string Last;
+    for (const auto &Step : R->Trace) {
+      if (Step.ProcName != Last)
+        std::printf("%s ", Step.ProcName.c_str());
+      Last = Step.ProcName;
+    }
+    std::printf("\n");
+  }
+  return R->V == SlamResult::Verdict::BugFound ? 1 : 0;
+}
