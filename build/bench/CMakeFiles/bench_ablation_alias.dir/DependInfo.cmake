@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_alias.cpp" "bench/CMakeFiles/bench_ablation_alias.dir/bench_ablation_alias.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_alias.dir/bench_ablation_alias.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/slam_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/slam/CMakeFiles/slam_slam.dir/DependInfo.cmake"
+  "/root/repo/build/src/c2bp/CMakeFiles/slam_c2bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bebop/CMakeFiles/slam_bebop.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/slam_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/alias/CMakeFiles/slam_alias.dir/DependInfo.cmake"
+  "/root/repo/build/src/bp/CMakeFiles/slam_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfront/CMakeFiles/slam_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/prover/CMakeFiles/slam_prover.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/slam_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

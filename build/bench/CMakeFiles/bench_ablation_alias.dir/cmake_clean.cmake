@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_alias.dir/bench_ablation_alias.cpp.o"
+  "CMakeFiles/bench_ablation_alias.dir/bench_ablation_alias.cpp.o.d"
+  "bench_ablation_alias"
+  "bench_ablation_alias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_alias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

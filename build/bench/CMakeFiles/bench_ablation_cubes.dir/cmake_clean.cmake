@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cubes.dir/bench_ablation_cubes.cpp.o"
+  "CMakeFiles/bench_ablation_cubes.dir/bench_ablation_cubes.cpp.o.d"
+  "bench_ablation_cubes"
+  "bench_ablation_cubes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cubes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

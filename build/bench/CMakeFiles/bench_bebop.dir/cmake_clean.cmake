@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bebop.dir/bench_bebop.cpp.o"
+  "CMakeFiles/bench_bebop.dir/bench_bebop.cpp.o.d"
+  "bench_bebop"
+  "bench_bebop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bebop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

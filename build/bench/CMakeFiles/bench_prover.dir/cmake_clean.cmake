@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prover.dir/bench_prover.cpp.o"
+  "CMakeFiles/bench_prover.dir/bench_prover.cpp.o.d"
+  "bench_prover"
+  "bench_prover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

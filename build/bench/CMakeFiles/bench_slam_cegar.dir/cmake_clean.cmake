@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slam_cegar.dir/bench_slam_cegar.cpp.o"
+  "CMakeFiles/bench_slam_cegar.dir/bench_slam_cegar.cpp.o.d"
+  "bench_slam_cegar"
+  "bench_slam_cegar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slam_cegar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

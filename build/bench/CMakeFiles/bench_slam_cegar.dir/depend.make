@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_slam_cegar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_check.dir/driver_check.cpp.o"
+  "CMakeFiles/driver_check.dir/driver_check.cpp.o.d"
+  "driver_check"
+  "driver_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_invariants.dir/partition_invariants.cpp.o"
+  "CMakeFiles/partition_invariants.dir/partition_invariants.cpp.o.d"
+  "partition_invariants"
+  "partition_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proccall_abstraction.dir/proccall_abstraction.cpp.o"
+  "CMakeFiles/proccall_abstraction.dir/proccall_abstraction.cpp.o.d"
+  "proccall_abstraction"
+  "proccall_abstraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proccall_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for proccall_abstraction.
+# This may be replaced when dependencies are built.

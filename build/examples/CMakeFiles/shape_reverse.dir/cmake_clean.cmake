@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shape_reverse.dir/shape_reverse.cpp.o"
+  "CMakeFiles/shape_reverse.dir/shape_reverse.cpp.o.d"
+  "shape_reverse"
+  "shape_reverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_reverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

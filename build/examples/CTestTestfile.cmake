@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_c2bp_partition "/root/repo/build/tools/c2bp" "/root/repo/examples/programs/partition.c" "/root/repo/examples/programs/partition.preds")
+set_tests_properties(tool_c2bp_partition PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(tool_slam_locking "/root/repo/build/tools/slam" "/root/repo/examples/programs/locking.c" "--lock" "AcquireLock,ReleaseLock")
+set_tests_properties(tool_slam_locking PROPERTIES  PASS_REGULAR_EXPRESSION "VALIDATED" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(tool_slam_locking_bug "/root/repo/build/tools/slam" "/root/repo/examples/programs/locking_bug.c" "--lock" "AcquireLock,ReleaseLock")
+set_tests_properties(tool_slam_locking_bug PROPERTIES  PASS_REGULAR_EXPRESSION "BUG FOUND" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

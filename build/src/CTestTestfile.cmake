@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("logic")
+subdirs("prover")
+subdirs("cfront")
+subdirs("alias")
+subdirs("bp")
+subdirs("bdd")
+subdirs("bebop")
+subdirs("c2bp")
+subdirs("slam")
+subdirs("workloads")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slam_alias.dir/ModRef.cpp.o"
+  "CMakeFiles/slam_alias.dir/ModRef.cpp.o.d"
+  "CMakeFiles/slam_alias.dir/Oracle.cpp.o"
+  "CMakeFiles/slam_alias.dir/Oracle.cpp.o.d"
+  "CMakeFiles/slam_alias.dir/PointsTo.cpp.o"
+  "CMakeFiles/slam_alias.dir/PointsTo.cpp.o.d"
+  "libslam_alias.a"
+  "libslam_alias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slam_alias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slam_bdd.dir/Bdd.cpp.o"
+  "CMakeFiles/slam_bdd.dir/Bdd.cpp.o.d"
+  "libslam_bdd.a"
+  "libslam_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slam_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slam_bebop.dir/Bebop.cpp.o"
+  "CMakeFiles/slam_bebop.dir/Bebop.cpp.o.d"
+  "CMakeFiles/slam_bebop.dir/Cfg.cpp.o"
+  "CMakeFiles/slam_bebop.dir/Cfg.cpp.o.d"
+  "libslam_bebop.a"
+  "libslam_bebop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slam_bebop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

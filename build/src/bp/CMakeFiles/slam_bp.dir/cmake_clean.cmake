@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slam_bp.dir/BPAst.cpp.o"
+  "CMakeFiles/slam_bp.dir/BPAst.cpp.o.d"
+  "CMakeFiles/slam_bp.dir/BPParser.cpp.o"
+  "CMakeFiles/slam_bp.dir/BPParser.cpp.o.d"
+  "libslam_bp.a"
+  "libslam_bp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slam_bp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

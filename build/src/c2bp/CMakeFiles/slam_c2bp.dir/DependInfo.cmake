@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/c2bp/C2bp.cpp" "src/c2bp/CMakeFiles/slam_c2bp.dir/C2bp.cpp.o" "gcc" "src/c2bp/CMakeFiles/slam_c2bp.dir/C2bp.cpp.o.d"
+  "/root/repo/src/c2bp/CExprToLogic.cpp" "src/c2bp/CMakeFiles/slam_c2bp.dir/CExprToLogic.cpp.o" "gcc" "src/c2bp/CMakeFiles/slam_c2bp.dir/CExprToLogic.cpp.o.d"
+  "/root/repo/src/c2bp/CubeSearch.cpp" "src/c2bp/CMakeFiles/slam_c2bp.dir/CubeSearch.cpp.o" "gcc" "src/c2bp/CMakeFiles/slam_c2bp.dir/CubeSearch.cpp.o.d"
+  "/root/repo/src/c2bp/PredicateSet.cpp" "src/c2bp/CMakeFiles/slam_c2bp.dir/PredicateSet.cpp.o" "gcc" "src/c2bp/CMakeFiles/slam_c2bp.dir/PredicateSet.cpp.o.d"
+  "/root/repo/src/c2bp/Signatures.cpp" "src/c2bp/CMakeFiles/slam_c2bp.dir/Signatures.cpp.o" "gcc" "src/c2bp/CMakeFiles/slam_c2bp.dir/Signatures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alias/CMakeFiles/slam_alias.dir/DependInfo.cmake"
+  "/root/repo/build/src/bp/CMakeFiles/slam_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfront/CMakeFiles/slam_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/slam_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/prover/CMakeFiles/slam_prover.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slam_c2bp.dir/C2bp.cpp.o"
+  "CMakeFiles/slam_c2bp.dir/C2bp.cpp.o.d"
+  "CMakeFiles/slam_c2bp.dir/CExprToLogic.cpp.o"
+  "CMakeFiles/slam_c2bp.dir/CExprToLogic.cpp.o.d"
+  "CMakeFiles/slam_c2bp.dir/CubeSearch.cpp.o"
+  "CMakeFiles/slam_c2bp.dir/CubeSearch.cpp.o.d"
+  "CMakeFiles/slam_c2bp.dir/PredicateSet.cpp.o"
+  "CMakeFiles/slam_c2bp.dir/PredicateSet.cpp.o.d"
+  "CMakeFiles/slam_c2bp.dir/Signatures.cpp.o"
+  "CMakeFiles/slam_c2bp.dir/Signatures.cpp.o.d"
+  "libslam_c2bp.a"
+  "libslam_c2bp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slam_c2bp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfront/AST.cpp" "src/cfront/CMakeFiles/slam_cfront.dir/AST.cpp.o" "gcc" "src/cfront/CMakeFiles/slam_cfront.dir/AST.cpp.o.d"
+  "/root/repo/src/cfront/Interp.cpp" "src/cfront/CMakeFiles/slam_cfront.dir/Interp.cpp.o" "gcc" "src/cfront/CMakeFiles/slam_cfront.dir/Interp.cpp.o.d"
+  "/root/repo/src/cfront/Lexer.cpp" "src/cfront/CMakeFiles/slam_cfront.dir/Lexer.cpp.o" "gcc" "src/cfront/CMakeFiles/slam_cfront.dir/Lexer.cpp.o.d"
+  "/root/repo/src/cfront/Normalize.cpp" "src/cfront/CMakeFiles/slam_cfront.dir/Normalize.cpp.o" "gcc" "src/cfront/CMakeFiles/slam_cfront.dir/Normalize.cpp.o.d"
+  "/root/repo/src/cfront/Parser.cpp" "src/cfront/CMakeFiles/slam_cfront.dir/Parser.cpp.o" "gcc" "src/cfront/CMakeFiles/slam_cfront.dir/Parser.cpp.o.d"
+  "/root/repo/src/cfront/Sema.cpp" "src/cfront/CMakeFiles/slam_cfront.dir/Sema.cpp.o" "gcc" "src/cfront/CMakeFiles/slam_cfront.dir/Sema.cpp.o.d"
+  "/root/repo/src/cfront/Types.cpp" "src/cfront/CMakeFiles/slam_cfront.dir/Types.cpp.o" "gcc" "src/cfront/CMakeFiles/slam_cfront.dir/Types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/slam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slam_cfront.dir/AST.cpp.o"
+  "CMakeFiles/slam_cfront.dir/AST.cpp.o.d"
+  "CMakeFiles/slam_cfront.dir/Interp.cpp.o"
+  "CMakeFiles/slam_cfront.dir/Interp.cpp.o.d"
+  "CMakeFiles/slam_cfront.dir/Lexer.cpp.o"
+  "CMakeFiles/slam_cfront.dir/Lexer.cpp.o.d"
+  "CMakeFiles/slam_cfront.dir/Normalize.cpp.o"
+  "CMakeFiles/slam_cfront.dir/Normalize.cpp.o.d"
+  "CMakeFiles/slam_cfront.dir/Parser.cpp.o"
+  "CMakeFiles/slam_cfront.dir/Parser.cpp.o.d"
+  "CMakeFiles/slam_cfront.dir/Sema.cpp.o"
+  "CMakeFiles/slam_cfront.dir/Sema.cpp.o.d"
+  "CMakeFiles/slam_cfront.dir/Types.cpp.o"
+  "CMakeFiles/slam_cfront.dir/Types.cpp.o.d"
+  "libslam_cfront.a"
+  "libslam_cfront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slam_cfront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/AliasOracle.cpp" "src/logic/CMakeFiles/slam_logic.dir/AliasOracle.cpp.o" "gcc" "src/logic/CMakeFiles/slam_logic.dir/AliasOracle.cpp.o.d"
+  "/root/repo/src/logic/Expr.cpp" "src/logic/CMakeFiles/slam_logic.dir/Expr.cpp.o" "gcc" "src/logic/CMakeFiles/slam_logic.dir/Expr.cpp.o.d"
+  "/root/repo/src/logic/ExprUtils.cpp" "src/logic/CMakeFiles/slam_logic.dir/ExprUtils.cpp.o" "gcc" "src/logic/CMakeFiles/slam_logic.dir/ExprUtils.cpp.o.d"
+  "/root/repo/src/logic/Parser.cpp" "src/logic/CMakeFiles/slam_logic.dir/Parser.cpp.o" "gcc" "src/logic/CMakeFiles/slam_logic.dir/Parser.cpp.o.d"
+  "/root/repo/src/logic/WP.cpp" "src/logic/CMakeFiles/slam_logic.dir/WP.cpp.o" "gcc" "src/logic/CMakeFiles/slam_logic.dir/WP.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/slam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

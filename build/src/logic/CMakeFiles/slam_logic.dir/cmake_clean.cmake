@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slam_logic.dir/AliasOracle.cpp.o"
+  "CMakeFiles/slam_logic.dir/AliasOracle.cpp.o.d"
+  "CMakeFiles/slam_logic.dir/Expr.cpp.o"
+  "CMakeFiles/slam_logic.dir/Expr.cpp.o.d"
+  "CMakeFiles/slam_logic.dir/ExprUtils.cpp.o"
+  "CMakeFiles/slam_logic.dir/ExprUtils.cpp.o.d"
+  "CMakeFiles/slam_logic.dir/Parser.cpp.o"
+  "CMakeFiles/slam_logic.dir/Parser.cpp.o.d"
+  "CMakeFiles/slam_logic.dir/WP.cpp.o"
+  "CMakeFiles/slam_logic.dir/WP.cpp.o.d"
+  "libslam_logic.a"
+  "libslam_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slam_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prover/CongruenceClosure.cpp" "src/prover/CMakeFiles/slam_prover.dir/CongruenceClosure.cpp.o" "gcc" "src/prover/CMakeFiles/slam_prover.dir/CongruenceClosure.cpp.o.d"
+  "/root/repo/src/prover/Prover.cpp" "src/prover/CMakeFiles/slam_prover.dir/Prover.cpp.o" "gcc" "src/prover/CMakeFiles/slam_prover.dir/Prover.cpp.o.d"
+  "/root/repo/src/prover/Sat.cpp" "src/prover/CMakeFiles/slam_prover.dir/Sat.cpp.o" "gcc" "src/prover/CMakeFiles/slam_prover.dir/Sat.cpp.o.d"
+  "/root/repo/src/prover/Simplex.cpp" "src/prover/CMakeFiles/slam_prover.dir/Simplex.cpp.o" "gcc" "src/prover/CMakeFiles/slam_prover.dir/Simplex.cpp.o.d"
+  "/root/repo/src/prover/Theory.cpp" "src/prover/CMakeFiles/slam_prover.dir/Theory.cpp.o" "gcc" "src/prover/CMakeFiles/slam_prover.dir/Theory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/slam_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slam_prover.dir/CongruenceClosure.cpp.o"
+  "CMakeFiles/slam_prover.dir/CongruenceClosure.cpp.o.d"
+  "CMakeFiles/slam_prover.dir/Prover.cpp.o"
+  "CMakeFiles/slam_prover.dir/Prover.cpp.o.d"
+  "CMakeFiles/slam_prover.dir/Sat.cpp.o"
+  "CMakeFiles/slam_prover.dir/Sat.cpp.o.d"
+  "CMakeFiles/slam_prover.dir/Simplex.cpp.o"
+  "CMakeFiles/slam_prover.dir/Simplex.cpp.o.d"
+  "CMakeFiles/slam_prover.dir/Theory.cpp.o"
+  "CMakeFiles/slam_prover.dir/Theory.cpp.o.d"
+  "libslam_prover.a"
+  "libslam_prover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slam_prover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

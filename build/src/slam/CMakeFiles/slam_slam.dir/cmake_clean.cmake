@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slam_slam.dir/Cegar.cpp.o"
+  "CMakeFiles/slam_slam.dir/Cegar.cpp.o.d"
+  "CMakeFiles/slam_slam.dir/Newton.cpp.o"
+  "CMakeFiles/slam_slam.dir/Newton.cpp.o.d"
+  "CMakeFiles/slam_slam.dir/SafetySpec.cpp.o"
+  "CMakeFiles/slam_slam.dir/SafetySpec.cpp.o.d"
+  "libslam_slam.a"
+  "libslam_slam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slam_slam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

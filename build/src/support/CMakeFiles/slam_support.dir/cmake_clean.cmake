@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slam_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/slam_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/slam_support.dir/StringExtras.cpp.o"
+  "CMakeFiles/slam_support.dir/StringExtras.cpp.o.d"
+  "libslam_support.a"
+  "libslam_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slam_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slam_workloads.dir/Table1.cpp.o"
+  "CMakeFiles/slam_workloads.dir/Table1.cpp.o.d"
+  "CMakeFiles/slam_workloads.dir/Table2.cpp.o"
+  "CMakeFiles/slam_workloads.dir/Table2.cpp.o.d"
+  "libslam_workloads.a"
+  "libslam_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slam_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libslam_workloads.a"
+)

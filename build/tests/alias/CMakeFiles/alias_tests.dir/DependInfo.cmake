@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alias/ModRefTest.cpp" "tests/alias/CMakeFiles/alias_tests.dir/ModRefTest.cpp.o" "gcc" "tests/alias/CMakeFiles/alias_tests.dir/ModRefTest.cpp.o.d"
+  "/root/repo/tests/alias/OracleTest.cpp" "tests/alias/CMakeFiles/alias_tests.dir/OracleTest.cpp.o" "gcc" "tests/alias/CMakeFiles/alias_tests.dir/OracleTest.cpp.o.d"
+  "/root/repo/tests/alias/PointsToTest.cpp" "tests/alias/CMakeFiles/alias_tests.dir/PointsToTest.cpp.o" "gcc" "tests/alias/CMakeFiles/alias_tests.dir/PointsToTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alias/CMakeFiles/slam_alias.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfront/CMakeFiles/slam_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/slam_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

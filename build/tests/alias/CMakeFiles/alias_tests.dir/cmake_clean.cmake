@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alias_tests.dir/ModRefTest.cpp.o"
+  "CMakeFiles/alias_tests.dir/ModRefTest.cpp.o.d"
+  "CMakeFiles/alias_tests.dir/OracleTest.cpp.o"
+  "CMakeFiles/alias_tests.dir/OracleTest.cpp.o.d"
+  "CMakeFiles/alias_tests.dir/PointsToTest.cpp.o"
+  "CMakeFiles/alias_tests.dir/PointsToTest.cpp.o.d"
+  "alias_tests"
+  "alias_tests.pdb"
+  "alias_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alias_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

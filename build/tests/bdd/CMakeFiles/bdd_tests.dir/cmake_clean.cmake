@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdd_tests.dir/BddTest.cpp.o"
+  "CMakeFiles/bdd_tests.dir/BddTest.cpp.o.d"
+  "bdd_tests"
+  "bdd_tests.pdb"
+  "bdd_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdd_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bebop_tests.dir/BebopTest.cpp.o"
+  "CMakeFiles/bebop_tests.dir/BebopTest.cpp.o.d"
+  "CMakeFiles/bebop_tests.dir/CfgTest.cpp.o"
+  "CMakeFiles/bebop_tests.dir/CfgTest.cpp.o.d"
+  "CMakeFiles/bebop_tests.dir/ExplicitStateTest.cpp.o"
+  "CMakeFiles/bebop_tests.dir/ExplicitStateTest.cpp.o.d"
+  "bebop_tests"
+  "bebop_tests.pdb"
+  "bebop_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bebop_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bp/BPParserTest.cpp" "tests/bp/CMakeFiles/bp_tests.dir/BPParserTest.cpp.o" "gcc" "tests/bp/CMakeFiles/bp_tests.dir/BPParserTest.cpp.o.d"
+  "/root/repo/tests/bp/BPPrinterTest.cpp" "tests/bp/CMakeFiles/bp_tests.dir/BPPrinterTest.cpp.o" "gcc" "tests/bp/CMakeFiles/bp_tests.dir/BPPrinterTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bp/CMakeFiles/slam_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

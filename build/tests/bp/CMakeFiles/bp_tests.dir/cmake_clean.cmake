@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_tests.dir/BPParserTest.cpp.o"
+  "CMakeFiles/bp_tests.dir/BPParserTest.cpp.o.d"
+  "CMakeFiles/bp_tests.dir/BPPrinterTest.cpp.o"
+  "CMakeFiles/bp_tests.dir/BPPrinterTest.cpp.o.d"
+  "bp_tests"
+  "bp_tests.pdb"
+  "bp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

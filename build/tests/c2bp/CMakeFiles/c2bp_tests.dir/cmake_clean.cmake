@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2bp_tests.dir/AbstractionTest.cpp.o"
+  "CMakeFiles/c2bp_tests.dir/AbstractionTest.cpp.o.d"
+  "CMakeFiles/c2bp_tests.dir/CubeSearchTest.cpp.o"
+  "CMakeFiles/c2bp_tests.dir/CubeSearchTest.cpp.o.d"
+  "CMakeFiles/c2bp_tests.dir/PredicateSetTest.cpp.o"
+  "CMakeFiles/c2bp_tests.dir/PredicateSetTest.cpp.o.d"
+  "CMakeFiles/c2bp_tests.dir/SignatureTest.cpp.o"
+  "CMakeFiles/c2bp_tests.dir/SignatureTest.cpp.o.d"
+  "c2bp_tests"
+  "c2bp_tests.pdb"
+  "c2bp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2bp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

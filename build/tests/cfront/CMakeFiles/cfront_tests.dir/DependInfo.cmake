@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cfront/InterpTest.cpp" "tests/cfront/CMakeFiles/cfront_tests.dir/InterpTest.cpp.o" "gcc" "tests/cfront/CMakeFiles/cfront_tests.dir/InterpTest.cpp.o.d"
+  "/root/repo/tests/cfront/LexerTest.cpp" "tests/cfront/CMakeFiles/cfront_tests.dir/LexerTest.cpp.o" "gcc" "tests/cfront/CMakeFiles/cfront_tests.dir/LexerTest.cpp.o.d"
+  "/root/repo/tests/cfront/NormalizeTest.cpp" "tests/cfront/CMakeFiles/cfront_tests.dir/NormalizeTest.cpp.o" "gcc" "tests/cfront/CMakeFiles/cfront_tests.dir/NormalizeTest.cpp.o.d"
+  "/root/repo/tests/cfront/ParserTest.cpp" "tests/cfront/CMakeFiles/cfront_tests.dir/ParserTest.cpp.o" "gcc" "tests/cfront/CMakeFiles/cfront_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/cfront/SemaTest.cpp" "tests/cfront/CMakeFiles/cfront_tests.dir/SemaTest.cpp.o" "gcc" "tests/cfront/CMakeFiles/cfront_tests.dir/SemaTest.cpp.o.d"
+  "/root/repo/tests/cfront/WPSemanticsTest.cpp" "tests/cfront/CMakeFiles/cfront_tests.dir/WPSemanticsTest.cpp.o" "gcc" "tests/cfront/CMakeFiles/cfront_tests.dir/WPSemanticsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfront/CMakeFiles/slam_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/slam_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

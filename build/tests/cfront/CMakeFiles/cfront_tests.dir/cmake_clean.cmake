@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfront_tests.dir/InterpTest.cpp.o"
+  "CMakeFiles/cfront_tests.dir/InterpTest.cpp.o.d"
+  "CMakeFiles/cfront_tests.dir/LexerTest.cpp.o"
+  "CMakeFiles/cfront_tests.dir/LexerTest.cpp.o.d"
+  "CMakeFiles/cfront_tests.dir/NormalizeTest.cpp.o"
+  "CMakeFiles/cfront_tests.dir/NormalizeTest.cpp.o.d"
+  "CMakeFiles/cfront_tests.dir/ParserTest.cpp.o"
+  "CMakeFiles/cfront_tests.dir/ParserTest.cpp.o.d"
+  "CMakeFiles/cfront_tests.dir/SemaTest.cpp.o"
+  "CMakeFiles/cfront_tests.dir/SemaTest.cpp.o.d"
+  "CMakeFiles/cfront_tests.dir/WPSemanticsTest.cpp.o"
+  "CMakeFiles/cfront_tests.dir/WPSemanticsTest.cpp.o.d"
+  "cfront_tests"
+  "cfront_tests.pdb"
+  "cfront_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfront_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cfront_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/logic/AliasOracleTest.cpp" "tests/logic/CMakeFiles/logic_tests.dir/AliasOracleTest.cpp.o" "gcc" "tests/logic/CMakeFiles/logic_tests.dir/AliasOracleTest.cpp.o.d"
+  "/root/repo/tests/logic/ExprTest.cpp" "tests/logic/CMakeFiles/logic_tests.dir/ExprTest.cpp.o" "gcc" "tests/logic/CMakeFiles/logic_tests.dir/ExprTest.cpp.o.d"
+  "/root/repo/tests/logic/ExprUtilsTest.cpp" "tests/logic/CMakeFiles/logic_tests.dir/ExprUtilsTest.cpp.o" "gcc" "tests/logic/CMakeFiles/logic_tests.dir/ExprUtilsTest.cpp.o.d"
+  "/root/repo/tests/logic/ParserTest.cpp" "tests/logic/CMakeFiles/logic_tests.dir/ParserTest.cpp.o" "gcc" "tests/logic/CMakeFiles/logic_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/logic/WPTest.cpp" "tests/logic/CMakeFiles/logic_tests.dir/WPTest.cpp.o" "gcc" "tests/logic/CMakeFiles/logic_tests.dir/WPTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/slam_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_tests.dir/AliasOracleTest.cpp.o"
+  "CMakeFiles/logic_tests.dir/AliasOracleTest.cpp.o.d"
+  "CMakeFiles/logic_tests.dir/ExprTest.cpp.o"
+  "CMakeFiles/logic_tests.dir/ExprTest.cpp.o.d"
+  "CMakeFiles/logic_tests.dir/ExprUtilsTest.cpp.o"
+  "CMakeFiles/logic_tests.dir/ExprUtilsTest.cpp.o.d"
+  "CMakeFiles/logic_tests.dir/ParserTest.cpp.o"
+  "CMakeFiles/logic_tests.dir/ParserTest.cpp.o.d"
+  "CMakeFiles/logic_tests.dir/WPTest.cpp.o"
+  "CMakeFiles/logic_tests.dir/WPTest.cpp.o.d"
+  "logic_tests"
+  "logic_tests.pdb"
+  "logic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

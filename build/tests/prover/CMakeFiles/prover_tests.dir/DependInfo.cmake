@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/prover/CongruenceClosureTest.cpp" "tests/prover/CMakeFiles/prover_tests.dir/CongruenceClosureTest.cpp.o" "gcc" "tests/prover/CMakeFiles/prover_tests.dir/CongruenceClosureTest.cpp.o.d"
+  "/root/repo/tests/prover/OracleSweepTest.cpp" "tests/prover/CMakeFiles/prover_tests.dir/OracleSweepTest.cpp.o" "gcc" "tests/prover/CMakeFiles/prover_tests.dir/OracleSweepTest.cpp.o.d"
+  "/root/repo/tests/prover/ProverTest.cpp" "tests/prover/CMakeFiles/prover_tests.dir/ProverTest.cpp.o" "gcc" "tests/prover/CMakeFiles/prover_tests.dir/ProverTest.cpp.o.d"
+  "/root/repo/tests/prover/RationalTest.cpp" "tests/prover/CMakeFiles/prover_tests.dir/RationalTest.cpp.o" "gcc" "tests/prover/CMakeFiles/prover_tests.dir/RationalTest.cpp.o.d"
+  "/root/repo/tests/prover/SatTest.cpp" "tests/prover/CMakeFiles/prover_tests.dir/SatTest.cpp.o" "gcc" "tests/prover/CMakeFiles/prover_tests.dir/SatTest.cpp.o.d"
+  "/root/repo/tests/prover/SimplexTest.cpp" "tests/prover/CMakeFiles/prover_tests.dir/SimplexTest.cpp.o" "gcc" "tests/prover/CMakeFiles/prover_tests.dir/SimplexTest.cpp.o.d"
+  "/root/repo/tests/prover/TheoryTest.cpp" "tests/prover/CMakeFiles/prover_tests.dir/TheoryTest.cpp.o" "gcc" "tests/prover/CMakeFiles/prover_tests.dir/TheoryTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prover/CMakeFiles/slam_prover.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/slam_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prover_tests.dir/CongruenceClosureTest.cpp.o"
+  "CMakeFiles/prover_tests.dir/CongruenceClosureTest.cpp.o.d"
+  "CMakeFiles/prover_tests.dir/OracleSweepTest.cpp.o"
+  "CMakeFiles/prover_tests.dir/OracleSweepTest.cpp.o.d"
+  "CMakeFiles/prover_tests.dir/ProverTest.cpp.o"
+  "CMakeFiles/prover_tests.dir/ProverTest.cpp.o.d"
+  "CMakeFiles/prover_tests.dir/RationalTest.cpp.o"
+  "CMakeFiles/prover_tests.dir/RationalTest.cpp.o.d"
+  "CMakeFiles/prover_tests.dir/SatTest.cpp.o"
+  "CMakeFiles/prover_tests.dir/SatTest.cpp.o.d"
+  "CMakeFiles/prover_tests.dir/SimplexTest.cpp.o"
+  "CMakeFiles/prover_tests.dir/SimplexTest.cpp.o.d"
+  "CMakeFiles/prover_tests.dir/TheoryTest.cpp.o"
+  "CMakeFiles/prover_tests.dir/TheoryTest.cpp.o.d"
+  "prover_tests"
+  "prover_tests.pdb"
+  "prover_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prover_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slam_tests.dir/CegarTest.cpp.o"
+  "CMakeFiles/slam_tests.dir/CegarTest.cpp.o.d"
+  "CMakeFiles/slam_tests.dir/InstrumentTest.cpp.o"
+  "CMakeFiles/slam_tests.dir/InstrumentTest.cpp.o.d"
+  "CMakeFiles/slam_tests.dir/NewtonTest.cpp.o"
+  "CMakeFiles/slam_tests.dir/NewtonTest.cpp.o.d"
+  "slam_tests"
+  "slam_tests.pdb"
+  "slam_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slam_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

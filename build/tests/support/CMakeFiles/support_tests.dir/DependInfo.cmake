@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/DiagnosticsTest.cpp" "tests/support/CMakeFiles/support_tests.dir/DiagnosticsTest.cpp.o" "gcc" "tests/support/CMakeFiles/support_tests.dir/DiagnosticsTest.cpp.o.d"
+  "/root/repo/tests/support/StatsTest.cpp" "tests/support/CMakeFiles/support_tests.dir/StatsTest.cpp.o" "gcc" "tests/support/CMakeFiles/support_tests.dir/StatsTest.cpp.o.d"
+  "/root/repo/tests/support/StringExtrasTest.cpp" "tests/support/CMakeFiles/support_tests.dir/StringExtrasTest.cpp.o" "gcc" "tests/support/CMakeFiles/support_tests.dir/StringExtrasTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/slam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

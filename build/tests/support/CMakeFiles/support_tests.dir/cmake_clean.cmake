@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_tests.dir/DiagnosticsTest.cpp.o"
+  "CMakeFiles/support_tests.dir/DiagnosticsTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/StatsTest.cpp.o"
+  "CMakeFiles/support_tests.dir/StatsTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/StringExtrasTest.cpp.o"
+  "CMakeFiles/support_tests.dir/StringExtrasTest.cpp.o.d"
+  "support_tests"
+  "support_tests.pdb"
+  "support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bebop.dir/bebop_main.cpp.o"
+  "CMakeFiles/bebop.dir/bebop_main.cpp.o.d"
+  "bebop"
+  "bebop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bebop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2bp.dir/c2bp_main.cpp.o"
+  "CMakeFiles/c2bp.dir/c2bp_main.cpp.o.d"
+  "c2bp"
+  "c2bp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2bp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slam.dir/slam_main.cpp.o"
+  "CMakeFiles/slam.dir/slam_main.cpp.o.d"
+  "slam"
+  "slam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
