@@ -24,6 +24,7 @@
 #include "support/SourceLoc.h"
 
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -169,6 +170,18 @@ public:
   const BExpr *orE(const BExpr *L, const BExpr *R);
   const BExpr *choose(const BExpr *Pos, const BExpr *Neg);
 
+  /// Takes ownership of another program's arenas. The parallel
+  /// abstraction workers each build expressions into a private
+  /// BProgram (arena allocation is not thread-safe); once the pool has
+  /// quiesced, the main program adopts the worker arenas so every node
+  /// reachable from Procs stays alive. Node pointers remain valid: the
+  /// donor's deques are moved wholesale, never spliced element-wise.
+  /// The donor's Globals/Procs lists are deliberately ignored — callers
+  /// wire procedure structure explicitly, in deterministic order.
+  void adopt(std::unique_ptr<BProgram> Donor) {
+    AdoptedArenas.push_back(std::move(Donor));
+  }
+
   /// Renders the whole program in concrete syntax (parsable back).
   std::string str() const;
 
@@ -176,6 +189,7 @@ private:
   std::deque<BExpr> ExprArena;
   std::deque<BStmt> StmtArena;
   std::deque<BProc> ProcArena;
+  std::vector<std::unique_ptr<BProgram>> AdoptedArenas;
 };
 
 /// Renders one statement at the given indent.

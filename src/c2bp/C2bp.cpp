@@ -3,6 +3,30 @@
 // Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
 //
 //===----------------------------------------------------------------------===//
+//
+// The abstraction runs in two phases so it can be sharded across
+// threads without giving up byte-for-byte deterministic output:
+//
+//   1. **Planning** (always sequential, cheap): walk every procedure in
+//      program order, build the boolean-program statement skeleton,
+//      compute weakest preconditions and call signatures, and record
+//      one *task* per expensive transfer-function computation (a
+//      predicate update, a branch weakening, an assert strengthening, a
+//      call formal, an enforce invariant). Each task owns a distinct
+//      output slot in the already-built skeleton.
+//
+//   2. **Execution**: with one worker the tasks run inline at their
+//      planning site — exactly the classic sequential pass. With N
+//      workers they run on a work-stealing thread pool; every worker
+//      owns a private prover (results transfer through the shared
+//      sharded query cache) and a private expression arena that the
+//      main program adopts after the pool quiesces. Because tasks are
+//      pure functions of their captured inputs (prover answers are
+//      deterministic, caches are memoization only) and slots are
+//      position-addressed, the merged output is identical for every
+//      worker count and schedule.
+//
+//===----------------------------------------------------------------------===//
 
 #include "c2bp/C2bp.h"
 
@@ -12,8 +36,12 @@
 #include "c2bp/Signatures.h"
 #include "logic/ExprUtils.h"
 #include "logic/WP.h"
+#include "prover/ProverCache.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <cassert>
+#include <functional>
 
 using namespace slam;
 using namespace slam::c2bp;
@@ -44,6 +72,43 @@ bool hasLoopExits(const Stmt &S) {
   return false;
 }
 
+/// DNF over \p Names rendered into \p Arena.
+const bp::BExpr *dnfToBExpr(bp::BProgram &Arena,
+                            const std::vector<std::string> &Names,
+                            const Dnf &D) {
+  if (D.empty())
+    return Arena.constant(false);
+  const bp::BExpr *Or = nullptr;
+  for (const Cube &C : D) {
+    const bp::BExpr *And = nullptr;
+    for (const CubeLit &L : C) {
+      const bp::BExpr *Lit = Arena.varRef(Names[L.Var]);
+      if (!L.Positive)
+        Lit = Arena.notE(Lit);
+      And = And ? Arena.andE(And, Lit) : Lit;
+    }
+    if (!And)
+      And = Arena.constant(true);
+    Or = Or ? Arena.orE(Or, And) : And;
+  }
+  return Or;
+}
+
+/// choose(F(Phi), F(!Phi)) with the pretty special case
+/// choose(b, !b) == b (used all over Figure 1).
+const bp::BExpr *chooseFromDnfs(bp::BProgram &Arena,
+                                const std::vector<std::string> &Names,
+                                const Dnf &Pos, const Dnf &Neg) {
+  if (Pos.size() == 1 && Neg.size() == 1 && Pos[0].size() == 1 &&
+      Neg[0].size() == 1 && Pos[0][0].Var == Neg[0][0].Var &&
+      Pos[0][0].Positive != Neg[0][0].Positive) {
+    const bp::BExpr *B = Arena.varRef(Names[Pos[0][0].Var]);
+    return Pos[0][0].Positive ? B : Arena.notE(B);
+  }
+  return Arena.choose(dnfToBExpr(Arena, Names, Pos),
+                      dnfToBExpr(Arena, Names, Neg));
+}
+
 } // namespace
 
 struct C2bpTool::Impl {
@@ -53,28 +118,66 @@ struct C2bpTool::Impl {
   C2bpOptions Options;
   StatsRegistry *Stats;
 
-  prover::Prover Prover;
+  /// Prover for the sequential (one-worker) mode.
+  prover::Prover MainProver;
+  /// Cross-worker result cache; created only for parallel runs.
+  std::unique_ptr<prover::SharedProverCache> SharedCache;
+
+  /// One per pool thread: a private prover and statistics registry
+  /// (merged at report time) plus a private expression arena (adopted
+  /// by the main program once the pool has quiesced). A worker is only
+  /// ever touched by the pool thread with the matching id.
+  struct Worker {
+    StatsRegistry Stats;
+    prover::Prover Prover;
+    std::unique_ptr<bp::BProgram> Arena;
+    Worker(logic::LogicContext &Ctx, prover::SharedProverCache *Shared)
+        : Prover(Ctx, &Stats, Shared),
+          Arena(std::make_unique<bp::BProgram>()) {}
+  };
+  std::vector<std::unique_ptr<Worker>> Workers;
+
   std::unique_ptr<alias::PointsTo> PT;
   std::unique_ptr<alias::ModRef> MR;
   std::map<const FuncDecl *, ProcSignature> Signatures;
 
-  // Per-procedure state while abstracting.
+  /// Per-procedure planning state, kept alive until the task pool has
+  /// drained (tasks reference the oracle and the scope vectors).
+  struct FuncScope {
+    const FuncDecl *F = nullptr;
+    std::unique_ptr<logic::AliasOracle> Oracle;
+    /// Non-null only when the points-to-backed oracle is active.
+    alias::ProgramAliasOracle *ProgOracle = nullptr;
+    std::unique_ptr<logic::WPEngine> WP;
+    /// Sequential mode only: one cube search per procedure so the F/G
+    /// result cache spans statements, exactly as before the sharding.
+    std::unique_ptr<CubeSearch> Cubes;
+    /// Predicates in scope: parallel vectors of formula and bp var name.
+    std::vector<ExprRef> ScopePreds;
+    std::vector<std::string> ScopeNames;
+  };
+  std::vector<std::unique_ptr<FuncScope>> Scopes;
+
+  /// One deferred transfer-function computation. The closure writes
+  /// into a slot of the planned skeleton that no other task touches;
+  /// the cube search and arena it receives depend on the worker that
+  /// picks it up.
+  struct DeferredTask {
+    FuncScope *FS;
+    std::function<void(CubeSearch &, bp::BProgram &)> Fn;
+  };
+  std::vector<DeferredTask> Pending;
+  bool Parallel = false;
+
+  // Planning cursor.
   std::unique_ptr<bp::BProgram> BP;
   bp::BProc *CurProc = nullptr;
-  const FuncDecl *CurFunc = nullptr;
-  std::unique_ptr<logic::AliasOracle> Oracle;
-  /// Non-null only when the points-to-backed oracle is active.
-  alias::ProgramAliasOracle *ProgOracle = nullptr;
-  std::unique_ptr<logic::WPEngine> WP;
-  std::unique_ptr<CubeSearch> Cubes;
-  /// Predicates in scope: parallel vectors of formula and bp var name.
-  std::vector<ExprRef> ScopePreds;
-  std::vector<std::string> ScopeNames;
+  FuncScope *CurScope = nullptr;
 
   Impl(const Program &P, const PredicateSet &Preds,
        logic::LogicContext &Ctx, C2bpOptions Options, StatsRegistry *Stats)
       : P(P), Preds(Preds), Ctx(Ctx), Options(Options), Stats(Stats),
-        Prover(Ctx, Stats) {
+        MainProver(Ctx, Stats) {
     PT = std::make_unique<alias::PointsTo>(P, Options.AliasMode);
     MR = std::make_unique<alias::ModRef>(P, *PT);
     for (const FuncDecl *F : P.Functions)
@@ -85,72 +188,40 @@ struct C2bpTool::Impl {
 
   static std::string predName(ExprRef E) { return E->str(); }
 
+  /// Runs \p Fn now (sequential mode) or queues it for the pool.
+  void defer(std::function<void(CubeSearch &, bp::BProgram &)> Fn) {
+    if (!Parallel) {
+      Fn(*CurScope->Cubes, *BP);
+      return;
+    }
+    Pending.push_back({CurScope, std::move(Fn)});
+  }
+
   // -- Scope management ------------------------------------------------------
   void enterFunction(const FuncDecl &F) {
-    CurFunc = &F;
+    Scopes.push_back(std::make_unique<FuncScope>());
+    FuncScope &FS = *Scopes.back();
+    CurScope = &FS;
+    FS.F = &F;
     if (Options.UseAliasAnalysis) {
       auto PO = std::make_unique<alias::ProgramAliasOracle>(*PT, P, &F);
-      ProgOracle = PO.get();
-      Oracle = std::move(PO);
+      FS.ProgOracle = PO.get();
+      FS.Oracle = std::move(PO);
     } else {
-      ProgOracle = nullptr;
-      Oracle = std::make_unique<logic::ShapeAliasOracle>();
+      FS.Oracle = std::make_unique<logic::ShapeAliasOracle>();
     }
-    WP = std::make_unique<logic::WPEngine>(Ctx, *Oracle);
-    Cubes = std::make_unique<CubeSearch>(Ctx, Prover, *Oracle,
-                                         Options.Cubes, Stats);
-    ScopePreds.clear();
-    ScopeNames.clear();
+    FS.WP = std::make_unique<logic::WPEngine>(Ctx, *FS.Oracle);
+    if (!Parallel)
+      FS.Cubes = std::make_unique<CubeSearch>(Ctx, MainProver, *FS.Oracle,
+                                              Options.Cubes, Stats);
     for (ExprRef E : Preds.Globals) {
-      ScopePreds.push_back(E);
-      ScopeNames.push_back(predName(E));
+      FS.ScopePreds.push_back(E);
+      FS.ScopeNames.push_back(predName(E));
     }
     for (ExprRef E : Preds.forProc(F.Name)) {
-      ScopePreds.push_back(E);
-      ScopeNames.push_back(predName(E));
+      FS.ScopePreds.push_back(E);
+      FS.ScopeNames.push_back(predName(E));
     }
-  }
-
-  // -- DNF to boolean-program expressions -----------------------------------
-  const bp::BExpr *dnfToBExpr(const Dnf &D) {
-    if (D.empty())
-      return BP->constant(false);
-    const bp::BExpr *Or = nullptr;
-    for (const Cube &C : D) {
-      const bp::BExpr *And = nullptr;
-      for (const CubeLit &L : C) {
-        const bp::BExpr *Lit = BP->varRef(ScopeNames[L.Var]);
-        if (!L.Positive)
-          Lit = BP->notE(Lit);
-        And = And ? BP->andE(And, Lit) : Lit;
-      }
-      if (!And)
-        And = BP->constant(true);
-      Or = Or ? BP->orE(Or, And) : And;
-    }
-    return Or;
-  }
-
-  /// choose(F(Phi), F(!Phi)) with the pretty special case
-  /// choose(b, !b) == b (used all over Figure 1).
-  const bp::BExpr *chooseExpr(ExprRef Phi) {
-    if (logic::containsNullDeref(Phi))
-      return BP->star();
-    Dnf Pos = Cubes->findF(ScopePreds, Phi);
-    Dnf Neg = Cubes->findF(ScopePreds, Ctx.notE(Phi));
-    if (Pos.size() == 1 && Neg.size() == 1 && Pos[0].size() == 1 &&
-        Neg[0].size() == 1 && Pos[0][0].Var == Neg[0][0].Var &&
-        Pos[0][0].Positive != Neg[0][0].Positive) {
-      const bp::BExpr *B = BP->varRef(ScopeNames[Pos[0][0].Var]);
-      return Pos[0][0].Positive ? B : BP->notE(B);
-    }
-    return BP->choose(dnfToBExpr(Pos), dnfToBExpr(Neg));
-  }
-
-  /// G(Phi) = !E(F(!Phi)) — the strongest expressible consequence.
-  const bp::BExpr *weakenG(ExprRef Phi) {
-    Dnf D = Cubes->findF(ScopePreds, Ctx.notE(Phi));
-    return BP->notE(dnfToBExpr(D));
   }
 
   // -- Statement translation ---------------------------------------------
@@ -160,11 +231,16 @@ struct C2bpTool::Impl {
     return S;
   }
 
-  bp::BStmt *makeAssume(const bp::BExpr *Cond, const Stmt &Origin,
-                        int BranchTaken) {
+  /// An assume whose condition is the deferred weakening G(Phi) =
+  /// !E(F(!Phi)) — the strongest expressible consequence.
+  bp::BStmt *makeAssumeG(ExprRef Phi, const Stmt &Origin, int BranchTaken) {
     bp::BStmt *S = stmt(bp::BStmtKind::Assume, Origin);
-    S->Cond = Cond;
     S->BranchTaken = BranchTaken;
+    FuncScope *FS = CurScope;
+    defer([S, FS, Phi, this](CubeSearch &CS, bp::BProgram &Arena) {
+      Dnf D = CS.findF(FS->ScopePreds, Ctx.notE(Phi));
+      S->Cond = Arena.notE(dnfToBExpr(Arena, FS->ScopeNames, D));
+    });
     return S;
   }
 
@@ -188,12 +264,12 @@ struct C2bpTool::Impl {
       // The assumes are emitted even when G is `true`: they carry the
       // branch direction that Newton replays concretely.
       bp::BStmt *Then = BP->makeStmt(bp::BStmtKind::Block);
-      Then->Stmts.push_back(makeAssume(weakenG(C), S, 1));
+      Then->Stmts.push_back(makeAssumeG(C, S, 1));
       Then->Stmts.push_back(abstractStmt(*S.Then));
       B->Then = Then;
 
       bp::BStmt *Else = BP->makeStmt(bp::BStmtKind::Block);
-      Else->Stmts.push_back(makeAssume(weakenG(Ctx.notE(C)), S, 0));
+      Else->Stmts.push_back(makeAssumeG(Ctx.notE(C), S, 0));
       if (S.Else)
         Else->Stmts.push_back(abstractStmt(*S.Else));
       B->Else = Else;
@@ -215,23 +291,23 @@ struct C2bpTool::Impl {
         bp::BStmt *ExitIf = stmt(bp::BStmtKind::If, S);
         ExitIf->Cond = BP->star();
         bp::BStmt *ExitBlk = BP->makeStmt(bp::BStmtKind::Block);
-        ExitBlk->Stmts.push_back(makeAssume(weakenG(Ctx.notE(C)), S, 0));
+        ExitBlk->Stmts.push_back(makeAssumeG(Ctx.notE(C), S, 0));
         ExitBlk->Stmts.push_back(stmt(bp::BStmtKind::Break, S));
         ExitIf->Then = ExitBlk;
         Body->Stmts.push_back(ExitIf);
-        Body->Stmts.push_back(makeAssume(weakenG(C), S, 1));
+        Body->Stmts.push_back(makeAssumeG(C, S, 1));
         Body->Stmts.push_back(abstractStmt(*S.Body));
         W->Body = Body;
         return W;
       }
 
       // Figure 1(b) form: while(*) { assume(G(c)); body } assume(G(!c)).
-      Body->Stmts.push_back(makeAssume(weakenG(C), S, 1));
+      Body->Stmts.push_back(makeAssumeG(C, S, 1));
       Body->Stmts.push_back(abstractStmt(*S.Body));
       W->Body = Body;
       bp::BStmt *Wrap = BP->makeStmt(bp::BStmtKind::Block);
       Wrap->Stmts.push_back(W);
-      Wrap->Stmts.push_back(makeAssume(weakenG(Ctx.notE(C)), S, 0));
+      Wrap->Stmts.push_back(makeAssumeG(Ctx.notE(C), S, 0));
       return Wrap;
     }
     case CStmtKind::Goto: {
@@ -247,7 +323,7 @@ struct C2bpTool::Impl {
     }
     case CStmtKind::Return: {
       bp::BStmt *R = stmt(bp::BStmtKind::Return, S);
-      const ProcSignature &Sig = Signatures.at(CurFunc);
+      const ProcSignature &Sig = Signatures.at(CurScope->F);
       for (ExprRef E : Sig.Returns)
         R->Exprs.push_back(BP->varRef(predName(E)));
       return R;
@@ -259,8 +335,12 @@ struct C2bpTool::Impl {
       // violation for Newton to examine). Using the weakening G(c)
       // here would mask real bugs.
       bp::BStmt *A = stmt(bp::BStmtKind::Assert, S);
-      A->Cond = dnfToBExpr(
-          Cubes->findF(ScopePreds, conditionToLogic(Ctx, *S.Cond)));
+      ExprRef C = conditionToLogic(Ctx, *S.Cond);
+      FuncScope *FS = CurScope;
+      defer([A, FS, C](CubeSearch &CS, bp::BProgram &Arena) {
+        A->Cond =
+            dnfToBExpr(Arena, FS->ScopeNames, CS.findF(FS->ScopePreds, C));
+      });
       return A;
     }
     case CStmtKind::Break:
@@ -276,43 +356,50 @@ struct C2bpTool::Impl {
   bp::BStmt *abstractAssign(const Stmt &S) {
     ExprRef Lhs = toLogic(Ctx, *S.Lhs);
     ExprRef Rhs = toLogic(Ctx, *S.Rhs);
+    FuncScope *FS = CurScope;
     std::vector<std::string> Targets;
-    std::vector<const bp::BExpr *> Values;
-    for (size_t I = 0; I != ScopePreds.size(); ++I) {
-      ExprRef E = ScopePreds[I];
-      ExprRef WpPos = WP->assignment(Lhs, Rhs, E);
+    // Weakest preconditions are computed here, at planning time (the
+    // WP engine is per-procedure state); the cube searches over them
+    // are deferred, one task per updated predicate.
+    struct Update {
+      size_t Slot;
+      ExprRef WpPos, WpNeg;
+    };
+    std::vector<Update> Updates;
+    for (size_t I = 0; I != FS->ScopePreds.size(); ++I) {
+      ExprRef E = FS->ScopePreds[I];
+      ExprRef WpPos = FS->WP->assignment(Lhs, Rhs, E);
       if (Options.SkipUnchanged && WpPos == E)
         continue; // Optimization 2: definitely unaffected.
-      Targets.push_back(ScopeNames[I]);
       // choose over F(WP(s, e)) / F(WP(s, !e)). A WP that dereferences
       // NULL is undefined; the predicate is invalidated to unknown.
-      ExprRef WpNeg = WP->assignment(Lhs, Rhs, Ctx.notE(E));
-      Dnf Pos = logic::containsNullDeref(WpPos)
-                    ? Dnf{}
-                    : Cubes->findF(ScopePreds, WpPos);
-      Dnf Neg = logic::containsNullDeref(WpNeg)
-                    ? Dnf{}
-                    : Cubes->findF(ScopePreds, WpNeg);
-      if (Pos.size() == 1 && Neg.size() == 1 && Pos[0].size() == 1 &&
-          Neg[0].size() == 1 && Pos[0][0].Var == Neg[0][0].Var &&
-          Pos[0][0].Positive != Neg[0][0].Positive) {
-        const bp::BExpr *B = BP->varRef(ScopeNames[Pos[0][0].Var]);
-        Values.push_back(Pos[0][0].Positive ? B : BP->notE(B));
-      } else {
-        Values.push_back(BP->choose(dnfToBExpr(Pos), dnfToBExpr(Neg)));
-      }
+      ExprRef WpNeg = FS->WP->assignment(Lhs, Rhs, Ctx.notE(E));
+      Updates.push_back({Targets.size(), WpPos, WpNeg});
+      Targets.push_back(FS->ScopeNames[I]);
     }
     if (Targets.empty())
       return stmt(bp::BStmtKind::Skip, S); // Figure 1(b)'s `skip;`.
     bp::BStmt *A = stmt(bp::BStmtKind::Assign, S);
     A->Targets = std::move(Targets);
-    A->Exprs = std::move(Values);
+    A->Exprs.assign(A->Targets.size(), nullptr);
+    for (const Update &U : Updates) {
+      defer([A, U, FS](CubeSearch &CS, bp::BProgram &Arena) {
+        Dnf Pos = logic::containsNullDeref(U.WpPos)
+                      ? Dnf{}
+                      : CS.findF(FS->ScopePreds, U.WpPos);
+        Dnf Neg = logic::containsNullDeref(U.WpNeg)
+                      ? Dnf{}
+                      : CS.findF(FS->ScopePreds, U.WpNeg);
+        A->Exprs[U.Slot] = chooseFromDnfs(Arena, FS->ScopeNames, Pos, Neg);
+      });
+    }
     return A;
   }
 
   bp::BStmt *abstractCall(const Stmt &S) {
     const FuncDecl *Callee = S.CallE->Callee;
     const ProcSignature &Sig = Signatures.at(Callee);
+    FuncScope *FS = CurScope;
 
     // Formal -> actual substitution map (logic terms).
     std::vector<std::pair<ExprRef, ExprRef>> ActualMap;
@@ -331,11 +418,11 @@ struct C2bpTool::Impl {
     }
     size_t NumGlobalPreds = Preds.Globals.size();
     std::vector<size_t> UpdateIdx; // Indices into ScopePreds (locals only).
-    for (size_t I = NumGlobalPreds; I != ScopePreds.size(); ++I) {
+    for (size_t I = NumGlobalPreds; I != FS->ScopePreds.size(); ++I) {
       bool MayChange = false;
-      for (ExprRef Loc : logic::collectLocations(ScopePreds[I])) {
+      for (ExprRef Loc : logic::collectLocations(FS->ScopePreds[I])) {
         std::optional<std::set<int>> Cells =
-            ProgOracle ? ProgOracle->cellsOf(Loc) : std::nullopt;
+            FS->ProgOracle ? FS->ProgOracle->cellsOf(Loc) : std::nullopt;
         if (!Cells) {
           // Unresolvable heap locations are treated conservatively; a
           // plain variable unknown to the program (an auxiliary
@@ -355,8 +442,8 @@ struct C2bpTool::Impl {
     // mentioning the lhs location syntactically is updated as well.
     if (S.Lhs) {
       ExprRef LhsL = toLogic(Ctx, *S.Lhs);
-      for (size_t I = NumGlobalPreds; I != ScopePreds.size(); ++I)
-        if (logic::mentions(ScopePreds[I], LhsL) &&
+      for (size_t I = NumGlobalPreds; I != FS->ScopePreds.size(); ++I)
+        if (logic::mentions(FS->ScopePreds[I], LhsL) &&
             std::find(UpdateIdx.begin(), UpdateIdx.end(), I) ==
                 UpdateIdx.end())
           UpdateIdx.push_back(I);
@@ -370,7 +457,7 @@ struct C2bpTool::Impl {
         return stmt(bp::BStmtKind::Skip, S);
       bp::BStmt *A = stmt(bp::BStmtKind::Assign, S);
       for (size_t I : UpdateIdx) {
-        A->Targets.push_back(ScopeNames[I]);
+        A->Targets.push_back(FS->ScopeNames[I]);
         A->Exprs.push_back(BP->star());
       }
       return A;
@@ -379,9 +466,20 @@ struct C2bpTool::Impl {
     // Actual parameters: choose(F(e'), F(!e')) per formal predicate.
     bp::BStmt *CallB = stmt(bp::BStmtKind::Call, S);
     CallB->Callee = Callee->Name;
-    for (ExprRef E : Sig.Formals) {
-      ExprRef Translated = logic::substituteAll(Ctx, E, ActualMap);
-      CallB->Exprs.push_back(chooseExpr(Translated));
+    CallB->Exprs.assign(Sig.Formals.size(), nullptr);
+    for (size_t K = 0; K != Sig.Formals.size(); ++K) {
+      ExprRef Translated =
+          logic::substituteAll(Ctx, Sig.Formals[K], ActualMap);
+      defer([CallB, K, FS, Translated, this](CubeSearch &CS,
+                                             bp::BProgram &Arena) {
+        if (logic::containsNullDeref(Translated)) {
+          CallB->Exprs[K] = Arena.star();
+          return;
+        }
+        Dnf Pos = CS.findF(FS->ScopePreds, Translated);
+        Dnf Neg = CS.findF(FS->ScopePreds, Ctx.notE(Translated));
+        CallB->Exprs[K] = chooseFromDnfs(Arena, FS->ScopeNames, Pos, Neg);
+      });
     }
 
     // Return temps t1..tp with their caller-context meanings.
@@ -405,46 +503,36 @@ struct C2bpTool::Impl {
       return CallB;
 
     // Update each invalidated predicate over E' = (E_S u E_G) - E_u
-    // plus the translated return predicates.
-    std::vector<ExprRef> VPrime;
-    std::vector<std::string> VPrimeNames;
-    for (size_t I = 0; I != ScopePreds.size(); ++I) {
+    // plus the translated return predicates. The scope-prime vectors
+    // are shared read-only by every update task of this call.
+    auto VPrime = std::make_shared<std::vector<ExprRef>>();
+    auto VPrimeNames = std::make_shared<std::vector<std::string>>();
+    for (size_t I = 0; I != FS->ScopePreds.size(); ++I) {
       if (std::find(UpdateIdx.begin(), UpdateIdx.end(), I) !=
           UpdateIdx.end())
         continue;
-      VPrime.push_back(ScopePreds[I]);
-      VPrimeNames.push_back(ScopeNames[I]);
+      VPrime->push_back(FS->ScopePreds[I]);
+      VPrimeNames->push_back(FS->ScopeNames[I]);
     }
     for (size_t K = 0; K != TempPreds.size(); ++K) {
-      VPrime.push_back(TempPreds[K]);
-      VPrimeNames.push_back(TempNames[K]);
+      VPrime->push_back(TempPreds[K]);
+      VPrimeNames->push_back(TempNames[K]);
     }
 
     bp::BStmt *Update = stmt(bp::BStmtKind::Assign, S);
-    for (size_t I : UpdateIdx) {
-      ExprRef E = ScopePreds[I];
-      Dnf Pos = Cubes->findF(VPrime, E);
-      Dnf Neg = Cubes->findF(VPrime, Ctx.notE(E));
-      auto ToB = [&](const Dnf &D) {
-        if (D.empty())
-          return BP->constant(false);
-        const bp::BExpr *Or = nullptr;
-        for (const Cube &C : D) {
-          const bp::BExpr *And = nullptr;
-          for (const CubeLit &L : C) {
-            const bp::BExpr *Lit = BP->varRef(VPrimeNames[L.Var]);
-            if (!L.Positive)
-              Lit = BP->notE(Lit);
-            And = And ? BP->andE(And, Lit) : Lit;
-          }
-          if (!And)
-            And = BP->constant(true);
-          Or = Or ? BP->orE(Or, And) : And;
-        }
-        return Or;
-      };
-      Update->Targets.push_back(ScopeNames[I]);
-      Update->Exprs.push_back(BP->choose(ToB(Pos), ToB(Neg)));
+    for (size_t I : UpdateIdx)
+      Update->Targets.push_back(FS->ScopeNames[I]);
+    Update->Exprs.assign(UpdateIdx.size(), nullptr);
+    for (size_t Slot = 0; Slot != UpdateIdx.size(); ++Slot) {
+      ExprRef E = FS->ScopePreds[UpdateIdx[Slot]];
+      defer([Update, Slot, E, VPrime, VPrimeNames,
+             this](CubeSearch &CS, bp::BProgram &Arena) {
+        Dnf Pos = CS.findF(*VPrime, E);
+        Dnf Neg = CS.findF(*VPrime, Ctx.notE(E));
+        Update->Exprs[Slot] =
+            Arena.choose(dnfToBExpr(Arena, *VPrimeNames, Pos),
+                         dnfToBExpr(Arena, *VPrimeNames, Neg));
+      });
     }
 
     bp::BStmt *Seq = BP->makeStmt(bp::BStmtKind::Block);
@@ -456,6 +544,7 @@ struct C2bpTool::Impl {
   // -- Procedure and program -----------------------------------------------
   void abstractFunction(const FuncDecl &F) {
     enterFunction(F);
+    FuncScope *FS = CurScope;
     const ProcSignature &Sig = Signatures.at(&F);
 
     bp::BProc *Proc = BP->makeProc();
@@ -473,9 +562,12 @@ struct C2bpTool::Impl {
         Proc->Locals.push_back(predName(E));
 
     if (Options.UseEnforce) {
-      Dnf Contradictions = Cubes->findContradictions(ScopePreds);
-      if (!Contradictions.empty())
-        Proc->Enforce = BP->notE(dnfToBExpr(Contradictions));
+      defer([Proc, FS](CubeSearch &CS, bp::BProgram &Arena) {
+        Dnf Contradictions = CS.findContradictions(FS->ScopePreds);
+        if (!Contradictions.empty())
+          Proc->Enforce = Arena.notE(
+              dnfToBExpr(Arena, FS->ScopeNames, Contradictions));
+      });
     }
 
     bp::BStmt *Body = BP->makeStmt(bp::BStmtKind::Block);
@@ -494,16 +586,62 @@ struct C2bpTool::Impl {
     CurProc = nullptr;
   }
 
+  uint64_t totalProverCalls() const {
+    uint64_t N = MainProver.numCalls();
+    for (const auto &W : Workers)
+      N += W->Prover.numCalls();
+    return N;
+  }
+
+  void runPending() {
+    ThreadPool Pool(static_cast<unsigned>(Options.NumWorkers));
+    for (DeferredTask &T : Pending) {
+      Pool.submit([this, &T] {
+        int W = ThreadPool::currentWorkerId();
+        assert(W >= 0 && static_cast<size_t>(W) < Workers.size());
+        Worker &WK = *Workers[W];
+        // A fresh cube search per task: its F/G result cache is
+        // task-local, which keeps every task a pure function of its
+        // inputs — repeated sub-queries are absorbed by the shared
+        // prover cache instead.
+        CubeSearch CS(Ctx, WK.Prover, *T.FS->Oracle, Options.Cubes,
+                      &WK.Stats);
+        T.Fn(CS, *WK.Arena);
+      });
+    }
+    Pool.wait();
+    Pending.clear();
+    // Results are merged in planning order by construction (tasks wrote
+    // into position-addressed slots); all that remains is keeping the
+    // worker-built expressions alive and folding the statistics.
+    for (auto &W : Workers) {
+      BP->adopt(std::move(W->Arena));
+      if (Stats)
+        Stats->mergeFrom(W->Stats);
+    }
+  }
+
   std::unique_ptr<bp::BProgram> run() {
+    Parallel = Options.NumWorkers > 1;
+    if (Parallel) {
+      if (Options.UseSharedProverCache)
+        SharedCache = std::make_unique<prover::SharedProverCache>();
+      for (int W = 0; W != Options.NumWorkers; ++W)
+        Workers.push_back(
+            std::make_unique<Worker>(Ctx, SharedCache.get()));
+    }
+
     BP = std::make_unique<bp::BProgram>();
     for (ExprRef E : Preds.Globals)
       BP->Globals.push_back(predName(E));
     for (const FuncDecl *F : P.Functions)
       if (F->Body)
         abstractFunction(*F);
+    if (Parallel)
+      runPending();
     if (Stats) {
       Stats->set("c2bp.predicates", Preds.totalCount());
-      Stats->set("c2bp.prover_calls", Prover.numCalls());
+      Stats->set("c2bp.prover_calls", totalProverCalls());
     }
     return std::move(BP);
   }
@@ -518,7 +656,7 @@ C2bpTool::~C2bpTool() = default;
 
 std::unique_ptr<bp::BProgram> C2bpTool::run() { return M->run(); }
 
-uint64_t C2bpTool::proverCalls() const { return M->Prover.numCalls(); }
+uint64_t C2bpTool::proverCalls() const { return M->totalProverCalls(); }
 
 std::unique_ptr<bp::BProgram>
 c2bp::abstractProgram(const Program &P, const PredicateSet &Preds,

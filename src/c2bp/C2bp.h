@@ -51,6 +51,15 @@ struct C2bpOptions {
   /// the purely syntactic shape oracle is used.
   bool UseAliasAnalysis = true;
   alias::Mode AliasMode = alias::Mode::Das;
+  /// Worker threads for the per-statement cube searches. 1 = the
+  /// classic sequential pass; N > 1 shards the statement-level
+  /// abstraction tasks over a work-stealing pool with one private
+  /// prover per worker and a shared query cache. Output is
+  /// byte-identical for every N (results are merged in statement
+  /// order); only wall-clock and cache statistics change.
+  int NumWorkers = 1;
+  /// Share prover results across workers (parallel mode only).
+  bool UseSharedProverCache = true;
 };
 
 /// One abstraction run. The logic context must be the one the

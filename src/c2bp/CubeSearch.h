@@ -110,13 +110,26 @@ private:
   StatsRegistry *Stats;
   uint64_t NumCubes = 0;
 
+  /// Keys on the stable hash-consed expression ids, not on ExprRef
+  /// pointer values: pointer order varies run to run (allocator layout,
+  /// ASLR), which made cache iteration — and any behavior derived from
+  /// it — nondeterministic across runs, while ids are assigned in
+  /// creation order and reproduce.
   struct CacheKey {
-    std::vector<logic::ExprRef> V;
-    logic::ExprRef Phi;
+    std::vector<unsigned> VIds;
+    unsigned PhiId;
+
+    CacheKey(const std::vector<logic::ExprRef> &V, logic::ExprRef Phi)
+        : PhiId(Phi->id()) {
+      VIds.reserve(V.size());
+      for (logic::ExprRef E : V)
+        VIds.push_back(E->id());
+    }
+
     bool operator<(const CacheKey &O) const {
-      if (Phi != O.Phi)
-        return Phi < O.Phi;
-      return V < O.V;
+      if (PhiId != O.PhiId)
+        return PhiId < O.PhiId;
+      return VIds < O.VIds;
     }
   };
   std::map<CacheKey, Dnf> Cache;

@@ -65,6 +65,10 @@ LogicContext::LogicContext() {
 
 ExprRef LogicContext::make(ExprKind Kind, int64_t IntValue, std::string Name,
                            std::vector<ExprRef> Ops) {
+  // The sole interning funnel, and with it the context's entire mutable
+  // state; holding the mutex here makes concurrent expression building
+  // safe (nodes are immutable once the pointer escapes the lock).
+  std::lock_guard<std::mutex> L(InternM);
   Key K{Kind, IntValue, Name, Ops};
   auto It = Interned.find(K);
   if (It != Interned.end())

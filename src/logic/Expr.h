@@ -22,6 +22,7 @@
 #include <cassert>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -141,6 +142,13 @@ using ExprRef = const Expr *;
 /// canonicalization (constant folding, flattening of And/Or, double
 /// negation, pushing ! through comparisons) so that the weakest
 /// precondition computation produces formulas of manageable size.
+///
+/// Construction is thread-safe: the single interning funnel (make())
+/// takes a mutex, and nodes are immutable once published, so the
+/// parallel abstraction workers may build expressions concurrently.
+/// Node ids then depend on thread interleaving, which is why nothing
+/// downstream may let ids (or pointers) influence *output* — only
+/// per-run cache keys and orderings.
 class LogicContext {
 public:
   LogicContext();
@@ -179,7 +187,10 @@ public:
   ExprRef implies(ExprRef L, ExprRef R) { return orE(notE(L), R); }
 
   /// Number of distinct nodes created so far.
-  size_t numNodes() const { return Nodes.size(); }
+  size_t numNodes() const {
+    std::lock_guard<std::mutex> L(InternM);
+    return Nodes.size();
+  }
 
 private:
   ExprRef make(ExprKind Kind, int64_t IntValue, std::string Name,
@@ -199,6 +210,7 @@ private:
     size_t operator()(const Key &K) const;
   };
 
+  mutable std::mutex InternM;
   std::deque<Expr> Nodes;
   std::unordered_map<Key, ExprRef, KeyHash> Interned;
   ExprRef True = nullptr;

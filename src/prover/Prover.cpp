@@ -18,43 +18,87 @@ using logic::ExprRef;
 
 namespace {
 
+/// Orders atoms by their stable hash-consed id rather than by pointer,
+/// so the skeleton's variable numbering (and with it the enumeration
+/// order of candidate models) is deterministic within a run.
+struct IdLess {
+  bool operator()(ExprRef A, ExprRef B) const { return A->id() < B->id(); }
+};
+
 /// Tseitin encoder from formulas to CNF over atom variables.
+///
+/// encode() is an explicit-worklist post-order walk: the weakest
+/// preconditions of long statement sequences (and especially the
+/// enforce-invariant conjunctions) nest Not/And chains thousands of
+/// nodes deep, which overflowed the stack in the naive recursive
+/// formulation. The iterative walk visits children left to right and
+/// emits clauses at the same points the recursion did, so the produced
+/// CNF (variable numbering included) is identical.
 class SkeletonEncoder {
 public:
   explicit SkeletonEncoder(SatSolver &Solver) : Solver(Solver) {}
 
   /// Returns the literal representing \p E.
-  int encode(ExprRef E) {
-    switch (E->kind()) {
-    case ExprKind::BoolLit:
-      return E->boolValue() ? constantTrue() : -constantTrue();
-    case ExprKind::Not:
-      return -encode(E->op(0));
-    case ExprKind::And:
-    case ExprKind::Or: {
-      bool IsAnd = E->kind() == ExprKind::And;
-      std::vector<int> Lits;
-      Lits.reserve(E->numOperands());
-      for (ExprRef Op : E->operands())
-        Lits.push_back(encode(Op));
-      int Aux = Solver.newVar() + 1;
-      std::vector<int> Big;
-      Big.push_back(IsAnd ? Aux : -Aux);
-      for (int Lit : Lits) {
-        Solver.addClause(IsAnd ? std::vector<int>{-Aux, Lit}
-                               : std::vector<int>{Aux, -Lit});
-        Big.push_back(IsAnd ? -Lit : Lit);
+  int encode(ExprRef Root) {
+    struct Frame {
+      ExprRef E;
+      size_t NextOp;         // Next child to descend into.
+      std::vector<int> Lits; // Completed children's literals (And/Or).
+    };
+    std::vector<Frame> Stack;
+    Stack.push_back({Root, 0, {}});
+    int Result = 0; // Literal of the most recently completed subtree.
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      switch (F.E->kind()) {
+      case ExprKind::BoolLit:
+        Result = F.E->boolValue() ? constantTrue() : -constantTrue();
+        Stack.pop_back();
+        continue;
+      case ExprKind::Not:
+        if (F.NextOp == 0) {
+          F.NextOp = 1;
+          Stack.push_back({F.E->op(0), 0, {}});
+        } else {
+          Result = -Result;
+          Stack.pop_back();
+        }
+        continue;
+      case ExprKind::And:
+      case ExprKind::Or: {
+        if (F.NextOp > 0)
+          F.Lits.push_back(Result); // Collect the child just finished.
+        if (F.NextOp < F.E->numOperands()) {
+          ExprRef Child = F.E->op(F.NextOp++);
+          Stack.push_back({Child, 0, {}});
+          continue;
+        }
+        bool IsAnd = F.E->kind() == ExprKind::And;
+        int Aux = Solver.newVar() + 1;
+        std::vector<int> Big;
+        Big.push_back(IsAnd ? Aux : -Aux);
+        for (int Lit : F.Lits) {
+          Solver.addClause(IsAnd ? std::vector<int>{-Aux, Lit}
+                                 : std::vector<int>{Aux, -Lit});
+          Big.push_back(IsAnd ? -Lit : Lit);
+        }
+        Solver.addClause(std::move(Big));
+        Result = Aux;
+        Stack.pop_back();
+        continue;
       }
-      Solver.addClause(std::move(Big));
-      return Aux;
+      default:
+        assert(logic::isCmpKind(F.E->kind()) &&
+               "formula leaf must be an atom");
+        Result = atomLit(F.E);
+        Stack.pop_back();
+        continue;
+      }
     }
-    default:
-      assert(logic::isCmpKind(E->kind()) && "formula leaf must be an atom");
-      return atomLit(E);
-    }
+    return Result;
   }
 
-  const std::map<ExprRef, int> &atoms() const { return Atoms; }
+  const std::map<ExprRef, int, IdLess> &atoms() const { return Atoms; }
 
 private:
   int constantTrue() {
@@ -75,7 +119,7 @@ private:
   }
 
   SatSolver &Solver;
-  std::map<ExprRef, int> Atoms;
+  std::map<ExprRef, int, IdLess> Atoms;
   int TrueVar = -1;
 };
 
@@ -143,13 +187,69 @@ Satisfiability Prover::checkSat(ExprRef Phi) {
   if (Phi->isFalse())
     return Satisfiability::Unsat;
 
-  if (CachingEnabled) {
-    auto It = Cache.find(Phi);
-    if (It != Cache.end()) {
+  if (!CachingEnabled) {
+    ++NumCalls;
+    if (Stats)
+      Stats->add("prover.calls");
+    return checkSatUncached(Phi);
+  }
+
+  // Shared (cross-worker) cache path: the shared cache subsumes the
+  // private one so hit accounting stays comparable across workers.
+  if (Shared) {
+    SharedProverCache::Lookup L = Shared->lookupOrReserve(Phi);
+    switch (L.Kind) {
+    case SharedProverCache::Outcome::Hit:
+      ++NumCacheHits;
+      if (Stats)
+        Stats->add("prover.shared_cache_hits");
+      return L.Value;
+    case SharedProverCache::Outcome::WaitHit:
+      ++NumCacheHits;
+      if (Stats) {
+        Stats->add("prover.shared_cache_hits");
+        Stats->add("prover.shared_wait_hits");
+      }
+      return L.Value;
+    case SharedProverCache::Outcome::NegHit:
+      ++NumNegCacheHits;
+      if (Stats)
+        Stats->add("prover.neg_cache_hits");
+      return L.Value;
+    case SharedProverCache::Outcome::Miss:
+      break;
+    }
+    ++NumCalls;
+    if (Stats)
+      Stats->add("prover.calls");
+    Satisfiability Result = checkSatUncached(Phi);
+    Shared->publish(Phi, Result);
+    return Result;
+  }
+
+  // Private cache, negation-canonical: strip a top-level ! and keep one
+  // slot per polarity, deriving Sat for one side from Unsat of the
+  // other (the validity pairs of the cube search make this common).
+  bool Positive = Phi->kind() != ExprKind::Not;
+  ExprRef Base = Positive ? Phi : Phi->op(0);
+  auto It = Cache.find(Base);
+  if (It != Cache.end()) {
+    std::optional<Satisfiability> &Own =
+        Positive ? It->second.Pos : It->second.Neg;
+    if (Own) {
       ++NumCacheHits;
       if (Stats)
         Stats->add("prover.cache_hits");
-      return It->second;
+      return *Own;
+    }
+    std::optional<Satisfiability> &Opposite =
+        Positive ? It->second.Neg : It->second.Pos;
+    if (Opposite && *Opposite == Satisfiability::Unsat) {
+      Own = Satisfiability::Sat; // !psi Unsat => psi valid => psi Sat.
+      ++NumNegCacheHits;
+      if (Stats)
+        Stats->add("prover.neg_cache_hits");
+      return Satisfiability::Sat;
     }
   }
 
@@ -157,8 +257,8 @@ Satisfiability Prover::checkSat(ExprRef Phi) {
   if (Stats)
     Stats->add("prover.calls");
   Satisfiability Result = checkSatUncached(Phi);
-  if (CachingEnabled)
-    Cache.emplace(Phi, Result);
+  CacheEntry &E = Cache[Base];
+  (Positive ? E.Pos : E.Neg) = Result;
   return Result;
 }
 

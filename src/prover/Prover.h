@@ -12,9 +12,18 @@
 /// conjunction decided by the Nelson–Oppen EUF+LIA combination, and a
 /// greedily minimized conflict core fed back as a blocking clause.
 ///
-/// All query results are cached (Section 5.2, optimization five); the
-/// caller's statistics registry records the number of genuine prover
-/// calls and cache hits so benchmarks can reproduce the paper's tables.
+/// All query results are cached (Section 5.2, optimization five). The
+/// cache is negation-canonical: entries are keyed on the formula with a
+/// top-level `!` stripped and hold one result per polarity, so the
+/// UNSAT(phi) half of a validity pair answers the UNSAT(!phi) half for
+/// free whenever phi was unsatisfiable. A Prover may additionally be
+/// attached to a SharedProverCache, in which case results transfer
+/// between the worker provers of a parallel abstraction run; each
+/// worker remains single-threaded and owns its Prover exclusively.
+///
+/// The caller's statistics registry records the number of genuine
+/// prover calls and cache hits so benchmarks can reproduce the paper's
+/// tables.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,8 +31,10 @@
 #define PROVER_PROVER_H
 
 #include "logic/Expr.h"
+#include "prover/ProverCache.h"
 #include "support/Stats.h"
 
+#include <optional>
 #include <unordered_map>
 
 namespace slam {
@@ -38,10 +49,14 @@ enum class Validity { Valid, Invalid, Unknown };
 enum class Satisfiability { Sat, Unsat, Unknown };
 
 /// A caching validity/satisfiability checker over the predicate logic.
+/// Not thread-safe itself: a parallel run gives each worker its own
+/// Prover, sharing results only through an (internally synchronized)
+/// SharedProverCache.
 class Prover {
 public:
-  explicit Prover(logic::LogicContext &Ctx, StatsRegistry *Stats = nullptr)
-      : Ctx(Ctx), Stats(Stats) {}
+  explicit Prover(logic::LogicContext &Ctx, StatsRegistry *Stats = nullptr,
+                  SharedProverCache *Shared = nullptr)
+      : Ctx(Ctx), Stats(Stats), Shared(Shared) {}
 
   /// Is `Antecedent => Consequent` valid?
   Validity implies(logic::ExprRef Antecedent, logic::ExprRef Consequent);
@@ -52,19 +67,34 @@ public:
   /// Number of non-cached satisfiability decisions performed. This is
   /// the "theorem prover calls" column of Tables 1 and 2.
   uint64_t numCalls() const { return NumCalls; }
+  /// Exact-entry cache hits (private or shared, including hits obtained
+  /// by waiting out another worker's in-flight call).
   uint64_t numCacheHits() const { return NumCacheHits; }
+  /// Hits answered from the opposite polarity's Unsat result.
+  uint64_t numNegCacheHits() const { return NumNegCacheHits; }
 
   /// Enables/disables the query cache (ablation hook).
   void setCachingEnabled(bool Enabled) { CachingEnabled = Enabled; }
 
+  /// Attaches/detaches a cross-worker result cache.
+  void setSharedCache(SharedProverCache *Cache) { Shared = Cache; }
+
 private:
   Satisfiability checkSatUncached(logic::ExprRef Phi);
 
+  /// Private per-prover entry: one result slot per polarity of the
+  /// negation-stripped base formula.
+  struct CacheEntry {
+    std::optional<Satisfiability> Pos, Neg;
+  };
+
   logic::LogicContext &Ctx;
   StatsRegistry *Stats;
-  std::unordered_map<logic::ExprRef, Satisfiability> Cache;
+  SharedProverCache *Shared;
+  std::unordered_map<logic::ExprRef, CacheEntry> Cache;
   uint64_t NumCalls = 0;
   uint64_t NumCacheHits = 0;
+  uint64_t NumNegCacheHits = 0;
   bool CachingEnabled = true;
 };
 

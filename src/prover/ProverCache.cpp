@@ -1,0 +1,74 @@
+//===- ProverCache.cpp - Shared cross-worker query cache ------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prover/ProverCache.h"
+
+#include "prover/Prover.h"
+
+using namespace slam;
+using namespace slam::prover;
+using logic::ExprKind;
+using logic::ExprRef;
+
+std::pair<ExprRef, bool> SharedProverCache::canonicalize(ExprRef Phi) {
+  if (Phi->kind() == ExprKind::Not)
+    return {Phi->op(0), false};
+  return {Phi, true};
+}
+
+SharedProverCache::Lookup SharedProverCache::lookupOrReserve(ExprRef Phi) {
+  auto [Base, Positive] = canonicalize(Phi);
+  int Slot = Positive ? 0 : 1;
+  Shard &S = shardFor(Base);
+
+  std::unique_lock<std::mutex> L(S.M);
+  Entry &E = S.Map[Base];
+  bool Waited = false;
+  while (E.State[Slot] == SlotState::InFlight) {
+    // Another worker is deciding this exact query; ride its coattails.
+    S.Cv.wait(L);
+    Waited = true;
+  }
+  if (E.State[Slot] == SlotState::Done) {
+    if (Waited)
+      return {Outcome::WaitHit, E.Value[Slot]};
+    return {E.Derived[Slot] ? Outcome::NegHit : Outcome::Hit, E.Value[Slot]};
+  }
+  E.State[Slot] = SlotState::InFlight;
+  return {Outcome::Miss, Satisfiability::Unknown};
+}
+
+void SharedProverCache::publish(ExprRef Phi, Satisfiability Result) {
+  auto [Base, Positive] = canonicalize(Phi);
+  int Slot = Positive ? 0 : 1;
+  Shard &S = shardFor(Base);
+  {
+    std::lock_guard<std::mutex> L(S.M);
+    Entry &E = S.Map[Base];
+    E.State[Slot] = SlotState::Done;
+    E.Value[Slot] = Result;
+    // phi unsatisfiable => !phi valid => !phi satisfiable. The converse
+    // direction gives nothing (Sat tells us nothing about the negation),
+    // and an Unknown must not poison the other polarity.
+    int Other = 1 - Slot;
+    if (Result == Satisfiability::Unsat &&
+        E.State[Other] == SlotState::Empty) {
+      E.State[Other] = SlotState::Done;
+      E.Value[Other] = Satisfiability::Sat;
+      E.Derived[Other] = true;
+    }
+  }
+  S.Cv.notify_all();
+}
+
+size_t SharedProverCache::size() const {
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> L(S.M);
+    N += S.Map.size();
+  }
+  return N;
+}

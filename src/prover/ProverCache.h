@@ -1,0 +1,114 @@
+//===- ProverCache.h - Shared cross-worker query cache ----------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A satisfiability-query cache shared by all worker provers of a
+/// parallel abstraction run, so a cube implication discharged on one
+/// worker is a cache hit on every other (Section 5.2's caching,
+/// extended across threads — prover-call volume is the cost the paper
+/// and its successors engineer around).
+///
+/// Three design points:
+///
+///   * **Sharded + mutex-striped.** Entries are distributed over a fixed
+///     set of shards by the stable hash-consed id of the queried
+///     formula; each shard has its own mutex, so writers on different
+///     shards never contend.
+///
+///   * **Negation-canonical.** checkSat(phi) and checkSat(!phi) are
+///     issued in validity pairs by the cube search (F(phi) next to
+///     F(!phi)). An entry is keyed on the negation-stripped base
+///     formula and holds one slot per polarity; publishing Unsat for
+///     one polarity derives Sat for the other (phi unsatisfiable =>
+///     !phi valid => !phi satisfiable), so half of each pair is often
+///     answered without a prover call.
+///
+///   * **Single-flight.** A worker that starts deciding a query marks
+///     its slot in-flight; a second worker asking the same query blocks
+///     on the shard's condition variable instead of burning a duplicate
+///     prover call, and is woken with the published result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROVER_PROVERCACHE_H
+#define PROVER_PROVERCACHE_H
+
+#include "logic/Expr.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace slam {
+namespace prover {
+
+enum class Satisfiability; // From Prover.h (included by users of both).
+
+/// Shared, sharded satisfiability cache. Bound to one LogicContext:
+/// keys are interned expression nodes of that context.
+class SharedProverCache {
+public:
+  /// How a lookup was (or was not) answered.
+  enum class Outcome {
+    Miss,    ///< Not cached; the caller reserved the slot and must publish.
+    Hit,     ///< Answered from a completed entry.
+    NegHit,  ///< Answered from the opposite polarity's Unsat result.
+    WaitHit, ///< Answered after blocking on another worker's in-flight call.
+  };
+
+  struct Lookup {
+    Outcome Kind;
+    Satisfiability Value; ///< Meaningful unless Kind == Miss.
+  };
+
+  /// Looks \p Phi up; on a miss the slot is reserved in-flight and the
+  /// caller MUST call publish(Phi, result) exactly once (there is no
+  /// abandonment path — the decision procedures do not throw).
+  Lookup lookupOrReserve(logic::ExprRef Phi);
+
+  /// Publishes the result of a reserved query and wakes waiters.
+  void publish(logic::ExprRef Phi, Satisfiability Result);
+
+  /// Entries resident across all shards (for reporting).
+  size_t size() const;
+
+private:
+  enum class SlotState : uint8_t { Empty, InFlight, Done };
+
+  struct Entry {
+    SlotState State[2] = {SlotState::Empty, SlotState::Empty};
+    Satisfiability Value[2];
+    /// Set when the slot was filled by negation derivation rather than
+    /// a prover call; hits on such slots are reported distinctly.
+    bool Derived[2] = {false, false};
+  };
+
+  struct Shard {
+    mutable std::mutex M;
+    std::condition_variable Cv;
+    std::unordered_map<logic::ExprRef, Entry> Map;
+  };
+
+  static constexpr size_t NumShards = 16;
+
+  /// Strips a top-level negation: returns the base formula and whether
+  /// the query was the positive polarity. The logic context pushes !
+  /// through comparisons and folds double negation, so at most one Not
+  /// survives at the root.
+  static std::pair<logic::ExprRef, bool> canonicalize(logic::ExprRef Phi);
+
+  Shard &shardFor(logic::ExprRef Base) {
+    return Shards[Base->id() % NumShards];
+  }
+
+  Shard Shards[NumShards];
+};
+
+} // namespace prover
+} // namespace slam
+
+#endif // PROVER_PROVERCACHE_H

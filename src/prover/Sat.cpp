@@ -7,6 +7,7 @@
 #include "prover/Sat.h"
 
 #include <cassert>
+#include <cstddef>
 
 using namespace slam;
 using namespace slam::prover;
@@ -27,9 +28,17 @@ void SatSolver::addClause(std::vector<int> Literals) {
 
 bool SatSolver::propagate(std::vector<signed char> &Assign) const {
   bool Changed = true;
+  // Sweeps alternate direction. An implication chain whose clauses run
+  // counter to the scan order (the Tseitin skeleton of a deep formula:
+  // leaf clauses first, the root unit clause last) would otherwise
+  // advance one assignment per sweep — quadratic in formula depth; the
+  // return sweep completes such a chain in a single pass. The fixpoint
+  // is the same either way.
+  bool Forward = true;
   while (Changed) {
     Changed = false;
-    for (const std::vector<int> &Clause : Clauses) {
+    for (std::size_t I = 0, N = Clauses.size(); I != N; ++I) {
+      const std::vector<int> &Clause = Clauses[Forward ? I : N - 1 - I];
       int FreeCount = 0;
       int LastFree = 0;
       bool Satisfied = false;
@@ -56,6 +65,7 @@ bool SatSolver::propagate(std::vector<signed char> &Assign) const {
         Changed = true;
       }
     }
+    Forward = !Forward;
   }
   return true;
 }

@@ -11,6 +11,12 @@
 /// registry object rather than global state so that benchmark harnesses
 /// can run many configurations in one process without cross-talk.
 ///
+/// The registry is thread-safe: counters may be bumped concurrently from
+/// worker threads. The parallel abstraction nevertheless prefers one
+/// registry per worker merged at report time (mergeFrom), keeping the
+/// hot add() path uncontended; the internal mutex makes the occasional
+/// shared registry safe rather than fast.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SUPPORT_STATS_H
@@ -18,6 +24,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace slam {
@@ -29,29 +36,52 @@ namespace slam {
 class StatsRegistry {
 public:
   void add(const std::string &Name, uint64_t Delta = 1) {
+    std::lock_guard<std::mutex> L(M);
     Counters[Name] += Delta;
   }
 
-  void set(const std::string &Name, uint64_t Value) { Counters[Name] = Value; }
+  void set(const std::string &Name, uint64_t Value) {
+    std::lock_guard<std::mutex> L(M);
+    Counters[Name] = Value;
+  }
 
   uint64_t get(const std::string &Name) const {
+    std::lock_guard<std::mutex> L(M);
     auto It = Counters.find(Name);
     return It == Counters.end() ? 0 : It->second;
   }
 
-  const std::map<std::string, uint64_t> &all() const { return Counters; }
+  std::map<std::string, uint64_t> all() const {
+    std::lock_guard<std::mutex> L(M);
+    return Counters;
+  }
+
+  /// Adds every counter of \p Other into this registry. Used to fold
+  /// per-worker registries into the caller's registry once a parallel
+  /// phase has quiesced; the result is independent of merge order.
+  void mergeFrom(const StatsRegistry &Other) {
+    std::map<std::string, uint64_t> Snapshot = Other.all();
+    std::lock_guard<std::mutex> L(M);
+    for (const auto &[Name, Value] : Snapshot)
+      Counters[Name] += Value;
+  }
 
   /// Renders "name = value" lines sorted by name.
   std::string str() const {
+    std::lock_guard<std::mutex> L(M);
     std::string Out;
     for (const auto &[Name, Value] : Counters)
       Out += Name + " = " + std::to_string(Value) + "\n";
     return Out;
   }
 
-  void clear() { Counters.clear(); }
+  void clear() {
+    std::lock_guard<std::mutex> L(M);
+    Counters.clear();
+  }
 
 private:
+  mutable std::mutex M;
   std::map<std::string, uint64_t> Counters;
 };
 

@@ -1,0 +1,130 @@
+//===- ThreadPool.cpp - Work-stealing task pool ---------------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cassert>
+
+using namespace slam;
+
+namespace {
+/// Worker id of the calling thread; -1 off-pool. Thread-local rather
+/// than a map so currentWorkerId() is a plain load on the hot path.
+thread_local int CurrentWorker = -1;
+} // namespace
+
+int ThreadPool::currentWorkerId() { return CurrentWorker; }
+
+unsigned ThreadPool::defaultConcurrency() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = 1;
+  Deques.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Deques.push_back(std::make_unique<WorkerDeque>());
+  Threads.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> L(StateM);
+    ShuttingDown = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  assert(Task && "null task");
+  unsigned Target;
+  {
+    std::lock_guard<std::mutex> L(StateM);
+    assert(!ShuttingDown && "submit after shutdown");
+    ++Outstanding;
+    int Self = CurrentWorker;
+    // A worker submits to its own deque (popped LIFO below); external
+    // submitters spray round-robin so the initial distribution is even
+    // before stealing kicks in.
+    Target = Self >= 0 ? static_cast<unsigned>(Self)
+                       : NextQueue++ % Deques.size();
+  }
+  {
+    std::lock_guard<std::mutex> L(Deques[Target]->M);
+    Deques[Target]->Q.push_back(std::move(Task));
+  }
+  WorkCv.notify_one();
+}
+
+bool ThreadPool::popOrSteal(unsigned Id, std::function<void()> &Out) {
+  // Own deque first, newest task first: depth-first execution keeps the
+  // working set hot and bounds memory for task trees.
+  {
+    std::lock_guard<std::mutex> L(Deques[Id]->M);
+    if (!Deques[Id]->Q.empty()) {
+      Out = std::move(Deques[Id]->Q.back());
+      Deques[Id]->Q.pop_back();
+      return true;
+    }
+  }
+  // Steal oldest-first from the other deques — the classic Arora/
+  // Blumofe/Plank discipline: victims lose the work they would get to
+  // last, minimizing contention with their own LIFO end.
+  for (size_t Off = 1; Off != Deques.size(); ++Off) {
+    WorkerDeque &V = *Deques[(Id + Off) % Deques.size()];
+    std::lock_guard<std::mutex> L(V.M);
+    if (!V.Q.empty()) {
+      Out = std::move(V.Q.front());
+      V.Q.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Id) {
+  CurrentWorker = static_cast<int>(Id);
+  for (;;) {
+    std::function<void()> Task;
+    if (popOrSteal(Id, Task)) {
+      Task();
+      std::lock_guard<std::mutex> L(StateM);
+      if (--Outstanding == 0)
+        DoneCv.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> L(StateM);
+    if (ShuttingDown)
+      return;
+    // Re-check under the lock: a submit may have raced the empty scan.
+    // Outstanding > 0 with empty deques can also mean tasks are running
+    // on other workers; sleeping is correct either way because every
+    // submit notifies.
+    bool MayHaveWork = false;
+    for (auto &D : Deques) {
+      std::lock_guard<std::mutex> DL(D->M);
+      if (!D->Q.empty()) {
+        MayHaveWork = true;
+        break;
+      }
+    }
+    if (MayHaveWork)
+      continue;
+    WorkCv.wait(L);
+  }
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> L(StateM);
+  DoneCv.wait(L, [this] { return Outstanding == 0; });
+}

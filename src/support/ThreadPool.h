@@ -1,0 +1,86 @@
+//===- ThreadPool.h - Work-stealing task pool -------------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool used to shard the per-statement
+/// abstraction work of C2bp (and any other embarrassingly parallel
+/// phase) across worker threads. Each worker owns a bounded deque: it
+/// pushes and pops its own work LIFO (cache-friendly) and steals FIFO
+/// from the other workers when its deque runs dry, which balances the
+/// highly uneven per-statement cube-search costs without a central
+/// contended queue.
+///
+/// The pool is deliberately result-agnostic: callers submit void
+/// closures that write into pre-allocated, task-private slots, then
+/// call wait(). Determinism is the caller's job (and C2bp's merge
+/// preserves statement order); the pool only guarantees that every
+/// submitted task runs exactly once and that wait() returns after all
+/// of them (including tasks spawned by tasks) have finished.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_THREADPOOL_H
+#define SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slam {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers (at least one).
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues one task. Thread-safe; may be called from inside a task
+  /// (the task lands on the calling worker's own deque).
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has completed.
+  void wait();
+
+  unsigned numWorkers() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// Index of the pool worker the calling thread is, or -1 when called
+  /// from a thread outside the pool. Lets callers keep per-worker state
+  /// (a private prover, a statistics registry) without locking.
+  static int currentWorkerId();
+
+  /// A reasonable worker count for this machine.
+  static unsigned defaultConcurrency();
+
+private:
+  struct WorkerDeque {
+    std::mutex M;
+    std::deque<std::function<void()>> Q;
+  };
+
+  void workerLoop(unsigned Id);
+  bool popOrSteal(unsigned Id, std::function<void()> &Out);
+
+  std::vector<std::unique_ptr<WorkerDeque>> Deques;
+  std::vector<std::thread> Threads;
+
+  // Task accounting and sleep/wake coordination.
+  std::mutex StateM;
+  std::condition_variable WorkCv; ///< Signals workers: work or shutdown.
+  std::condition_variable DoneCv; ///< Signals waiters: all tasks drained.
+  unsigned Outstanding = 0;       ///< Submitted but not yet finished.
+  unsigned NextQueue = 0;         ///< Round-robin target for external submits.
+  bool ShuttingDown = false;
+};
+
+} // namespace slam
+
+#endif // SUPPORT_THREADPOOL_H

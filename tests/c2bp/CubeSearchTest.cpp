@@ -200,6 +200,51 @@ TEST_F(CubeSearchTest, GViaConcretization) {
   EXPECT_EQ(CS.concretizeF(V, parse("x < 5")), parse("x < 5"));
 }
 
+TEST(CubeSearchDeterminism, IdenticalDnfsAcrossInstancesAndContexts) {
+  // Regression: the result cache used to key on raw ExprRef pointers,
+  // so its ordering (and with it any behavior derived from iteration)
+  // depended on allocation addresses. Keys are now stable hash-consed
+  // ids. Run the same query battery in two contexts whose arenas are
+  // skewed so equal predicates get different ids and addresses, and
+  // demand literally identical DNFs.
+  auto RunBattery = [](int Skew) {
+    logic::LogicContext Ctx;
+    DiagnosticEngine Diags;
+    for (int I = 0; I != Skew; ++I)
+      (void)logic::parseExpr(Ctx, "skew" + std::to_string(I) + " == 0",
+                             Diags);
+    prover::Prover P(Ctx);
+    logic::ShapeAliasOracle Oracle;
+    CubeSearchOptions O;
+    O.SyntacticFastPaths = false; // Route everything through the cache.
+    CubeSearch CS(Ctx, P, Oracle, O, nullptr);
+    std::vector<ExprRef> V;
+    for (const char *T : {"x < 5", "x == 2", "*p <= 0", "x == 0", "y == 7"})
+      V.push_back(logic::parseExpr(Ctx, T, Diags));
+    std::vector<Dnf> Out;
+    for (const char *Q :
+         {"x < 4", "*p + x <= 0", "x >= 1", "!(x < 5)", "x < 4"})
+      Out.push_back(CS.findF(V, logic::parseExpr(Ctx, Q, Diags)));
+    Out.push_back(CS.findContradictions(V));
+    return Out;
+  };
+
+  std::vector<Dnf> A = RunBattery(0);
+  std::vector<Dnf> B = RunBattery(137);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t Q = 0; Q != A.size(); ++Q) {
+    ASSERT_EQ(A[Q].size(), B[Q].size()) << "query " << Q;
+    for (size_t C = 0; C != A[Q].size(); ++C) {
+      ASSERT_EQ(A[Q][C].size(), B[Q][C].size()) << "query " << Q;
+      for (size_t L = 0; L != A[Q][C].size(); ++L) {
+        EXPECT_EQ(A[Q][C][L].Var, B[Q][C][L].Var) << "query " << Q;
+        EXPECT_EQ(A[Q][C][L].Positive, B[Q][C][L].Positive)
+            << "query " << Q;
+      }
+    }
+  }
+}
+
 // Property sweep: for every found implicant cube c, the prover agrees
 // E(c) => phi, across a family of bound predicates.
 class CubeSoundness : public CubeSearchTest,

@@ -1,0 +1,117 @@
+//===- ParallelAbstractionTest.cpp - -j N determinism (tentpole) ------------===//
+//
+// The parallel abstraction contract: for every worker count N the
+// produced boolean program is byte-identical to the sequential pass,
+// and the shared prover cache only ever helps (its hit counters are
+// monotone nondecreasing in N).
+//
+//===----------------------------------------------------------------------===//
+
+#include "c2bp/C2bp.h"
+
+#include "cfront/Normalize.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace slam;
+using namespace slam::c2bp;
+
+namespace {
+
+struct RunResult {
+  bool Ok = false;
+  std::string Text;
+  uint64_t SharedHits = 0;
+  uint64_t ProverCalls = 0;
+};
+
+RunResult abstractWith(const std::string &Source, const std::string &PredText,
+                       int Workers) {
+  RunResult R;
+  DiagnosticEngine Diags;
+  logic::LogicContext Ctx;
+  auto P = cfront::frontend(Source, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.str();
+  if (!P)
+    return R;
+  auto PS = parsePredicateFile(Ctx, PredText, Diags);
+  EXPECT_TRUE(PS.has_value()) << Diags.str();
+  if (!PS)
+    return R;
+  C2bpOptions Options;
+  Options.NumWorkers = Workers;
+  StatsRegistry Stats;
+  auto BP = abstractProgram(*P, *PS, Ctx, Diags, Options, &Stats);
+  EXPECT_TRUE(BP != nullptr) << Diags.str();
+  if (!BP)
+    return R;
+  R.Ok = true;
+  R.Text = BP->str();
+  R.SharedHits = Stats.get("prover.shared_cache_hits") +
+                 Stats.get("prover.neg_cache_hits");
+  R.ProverCalls = Stats.get("prover.calls");
+  return R;
+}
+
+// One sweep over every Table 2 workload at -j 1/2/4/8 checks both
+// halves of the parallel contract: (a) the boolean program is
+// byte-identical to the sequential pass at every worker count, and
+// (b) the shared prover cache only helps — combined hit counters are
+// monotone nondecreasing in N. (N = 1 runs the sequential pass with no
+// shared cache, so its shared-hit count is zero and anchors the chain.)
+TEST(ParallelAbstraction, ByteIdenticalAndCacheMonotoneAcrossWorkerCounts) {
+  for (const workloads::Workload *W : workloads::table2Workloads()) {
+    SCOPED_TRACE(W->Name);
+    RunResult Sequential = abstractWith(W->Source, W->Predicates, 1);
+    ASSERT_TRUE(Sequential.Ok);
+    uint64_t PreviousHits = 0;
+    for (int N : {2, 4, 8}) {
+      SCOPED_TRACE("N=" + std::to_string(N));
+      RunResult Parallel = abstractWith(W->Source, W->Predicates, N);
+      ASSERT_TRUE(Parallel.Ok);
+      EXPECT_EQ(Parallel.Text, Sequential.Text);
+      EXPECT_GE(Parallel.SharedHits, PreviousHits);
+      PreviousHits = Parallel.SharedHits;
+    }
+  }
+}
+
+// Repeated parallel runs of the same abstraction must also agree with
+// each other (no schedule-dependent output).
+TEST(ParallelAbstraction, RepeatedRunsAgree) {
+  const workloads::Workload &W = workloads::partitionWorkload();
+  RunResult First = abstractWith(W.Source, W.Predicates, 8);
+  ASSERT_TRUE(First.Ok);
+  for (int Run = 0; Run != 3; ++Run) {
+    RunResult Again = abstractWith(W.Source, W.Predicates, 8);
+    ASSERT_TRUE(Again.Ok);
+    EXPECT_EQ(Again.Text, First.Text);
+  }
+}
+
+// Disabling the shared cache must not change the output either — only
+// the number of prover calls.
+TEST(ParallelAbstraction, OutputUnchangedWithoutSharedCache) {
+  const workloads::Workload &W = workloads::partitionWorkload();
+  RunResult Shared = abstractWith(W.Source, W.Predicates, 4);
+  ASSERT_TRUE(Shared.Ok);
+
+  DiagnosticEngine Diags;
+  logic::LogicContext Ctx;
+  auto P = cfront::frontend(W.Source, Diags);
+  ASSERT_TRUE(P != nullptr) << Diags.str();
+  auto PS = parsePredicateFile(Ctx, W.Predicates, Diags);
+  ASSERT_TRUE(PS.has_value()) << Diags.str();
+  C2bpOptions Options;
+  Options.NumWorkers = 4;
+  Options.UseSharedProverCache = false;
+  StatsRegistry Stats;
+  auto BP = abstractProgram(*P, *PS, Ctx, Diags, Options, &Stats);
+  ASSERT_TRUE(BP != nullptr) << Diags.str();
+  EXPECT_EQ(BP->str(), Shared.Text);
+  EXPECT_EQ(Stats.get("prover.shared_cache_hits"), 0u);
+  EXPECT_GE(Stats.get("prover.calls"), Shared.ProverCalls);
+}
+
+} // namespace

@@ -88,6 +88,46 @@ TEST_F(ProverTest, CachingCountsHits) {
   EXPECT_EQ(Stats.get("prover.cache_hits"), P.numCacheHits());
 }
 
+TEST_F(ProverTest, NegationCanonicalCacheDerivesValidity) {
+  // The cube search issues validity pairs: checkSat(psi) right after
+  // checkSat(!psi). Unsat(psi) makes !psi valid, so the second query
+  // must be answered from the cache under its own statistic.
+  ExprRef Phi = parse("x == 1 && x == 2"); // Theory-unsat conjunction.
+  EXPECT_EQ(P.checkSat(Phi), Satisfiability::Unsat);
+  uint64_t Calls = P.numCalls();
+  EXPECT_EQ(P.checkSat(Ctx.notE(Phi)), Satisfiability::Sat);
+  EXPECT_EQ(P.numCalls(), Calls); // Derived, not recomputed.
+  EXPECT_EQ(P.numNegCacheHits(), 1u);
+  EXPECT_EQ(Stats.get("prover.neg_cache_hits"), 1u);
+  // Counted apart from exact-entry hits.
+  EXPECT_EQ(Stats.get("prover.cache_hits"), P.numCacheHits());
+}
+
+TEST_F(ProverTest, NegationCacheDoesNotDeriveFromSat) {
+  // Sat(psi) says nothing about !psi; the opposite polarity must be
+  // computed, not guessed.
+  ExprRef Phi = parse("x == 1 && y == 2");
+  EXPECT_EQ(P.checkSat(Phi), Satisfiability::Sat);
+  uint64_t Calls = P.numCalls();
+  EXPECT_EQ(P.checkSat(Ctx.notE(Phi)), Satisfiability::Sat);
+  EXPECT_EQ(P.numCalls(), Calls + 1);
+  EXPECT_EQ(P.numNegCacheHits(), 0u);
+}
+
+TEST_F(ProverTest, DeepFormulaUsesNoRecursion) {
+  // ~100k-node alternating !/ || chain. The skeleton encoder used to
+  // recurse per node and overflowed the stack on formulas this deep;
+  // the explicit worklist must handle it, and unit propagation must
+  // resolve the resulting Tseitin chain without quadratic re-sweeps.
+  ExprRef A = parse("x > 0");
+  ExprRef Phi = parse("y > 0");
+  for (int I = 0; I != 50000; ++I)
+    Phi = Ctx.notE(Ctx.orE(A, Phi));
+  // Satisfiable: x <= 0 collapses every level to a bare negation, and
+  // an even number of negations leaves y > 0, which y = 1 satisfies.
+  EXPECT_EQ(P.checkSat(Phi), Satisfiability::Sat);
+}
+
 TEST_F(ProverTest, CachingCanBeDisabled) {
   P.setCachingEnabled(false);
   EXPECT_EQ(implies("y == 2", "y < 4"), Validity::Valid);

@@ -1,0 +1,110 @@
+//===- ThreadPoolTest.cpp - The work-stealing pool ---------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "support/Stats.h"
+
+#include <atomic>
+#include <gtest/gtest.h>
+
+using namespace slam;
+
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.numWorkers(), 4u);
+  constexpr int N = 1000;
+  std::vector<std::atomic<int>> Ran(N);
+  for (int I = 0; I != N; ++I)
+    Pool.submit([&Ran, I] { Ran[I].fetch_add(1); });
+  Pool.wait();
+  for (int I = 0; I != N; ++I)
+    EXPECT_EQ(Ran[I].load(), 1) << "task " << I;
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool Pool(2);
+  Pool.wait();
+  Pool.wait(); // Idempotent.
+}
+
+TEST(ThreadPoolTest, TasksMaySpawnTasks) {
+  // wait() must cover transitively spawned work too.
+  ThreadPool Pool(3);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 8; ++I)
+    Pool.submit([&Pool, &Count] {
+      Count.fetch_add(1);
+      Pool.submit([&Pool, &Count] {
+        Count.fetch_add(1);
+        Pool.submit([&Count] { Count.fetch_add(1); });
+      });
+    });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 24);
+}
+
+TEST(ThreadPoolTest, CurrentWorkerIdIsStableInsidePool) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(ThreadPool::currentWorkerId(), -1); // Not a pool thread.
+  constexpr int N = 200;
+  std::vector<int> Ids(N, -2);
+  for (int I = 0; I != N; ++I)
+    Pool.submit([&Ids, I] { Ids[I] = ThreadPool::currentWorkerId(); });
+  Pool.wait();
+  for (int I = 0; I != N; ++I) {
+    EXPECT_GE(Ids[I], 0) << "task " << I;
+    EXPECT_LT(Ids[I], 4) << "task " << I;
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  for (int Wave = 0; Wave != 5; ++Wave) {
+    for (int I = 0; I != 50; ++I)
+      Pool.submit([&Count] { Count.fetch_add(1); });
+    Pool.wait();
+    EXPECT_EQ(Count.load(), (Wave + 1) * 50);
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerStillDrains) {
+  ThreadPool Pool(1);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+// The per-worker pattern C2bp uses: each worker accumulates into its
+// own registry, merged after the pool quiesces.
+TEST(ThreadPoolTest, PerWorkerStatsMergeLosslessly) {
+  ThreadPool Pool(4);
+  std::vector<StatsRegistry> PerWorker(4);
+  constexpr int N = 400;
+  for (int I = 0; I != N; ++I)
+    Pool.submit([&PerWorker] {
+      PerWorker[ThreadPool::currentWorkerId()].add("tasks");
+    });
+  Pool.wait();
+  StatsRegistry Total;
+  for (const StatsRegistry &R : PerWorker)
+    Total.mergeFrom(R);
+  EXPECT_EQ(Total.get("tasks"), static_cast<uint64_t>(N));
+}
+
+// StatsRegistry itself is thread-safe for concurrent add()s.
+TEST(ThreadPoolTest, SharedStatsRegistrySurvivesConcurrentAdds) {
+  ThreadPool Pool(4);
+  StatsRegistry Shared;
+  constexpr int N = 2000;
+  for (int I = 0; I != N; ++I)
+    Pool.submit([&Shared] { Shared.add("hits"); });
+  Pool.wait();
+  EXPECT_EQ(Shared.get("hits"), static_cast<uint64_t>(N));
+}
+
+} // namespace

@@ -7,6 +7,9 @@
 // Usage: c2bp <program.c> <predicates.txt> [options]
 //
 //   -k <n>          maximum cube length (default: unlimited)
+//   -j <n>          worker threads for the cube searches (default: 1;
+//                   0 = one per hardware thread). Output is identical
+//                   for every -j value.
 //   --no-cone       disable the cone-of-influence optimization
 //   --no-enforce    do not emit the enforce data invariant
 //   --no-alias      use the syntactic alias oracle only
@@ -19,6 +22,7 @@
 
 #include "c2bp/C2bp.h"
 #include "cfront/Normalize.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstring>
@@ -58,6 +62,17 @@ int main(int argc, char **argv) {
   for (int I = 3; I < argc; ++I) {
     if (!std::strcmp(argv[I], "-k") && I + 1 < argc) {
       Options.Cubes.MaxCubeLength = std::atoi(argv[++I]);
+    } else if (!std::strcmp(argv[I], "-j") && I + 1 < argc) {
+      Options.NumWorkers = std::atoi(argv[++I]);
+      if (Options.NumWorkers == 0)
+        Options.NumWorkers =
+            static_cast<int>(ThreadPool::defaultConcurrency());
+      if (Options.NumWorkers < 1) {
+        std::fprintf(stderr, "c2bp: bad worker count for -j\n");
+        return 2;
+      }
+    } else if (!std::strcmp(argv[I], "--no-shared-cache")) {
+      Options.UseSharedProverCache = false;
     } else if (!std::strcmp(argv[I], "--no-cone")) {
       Options.Cubes.ConeOfInfluence = false;
     } else if (!std::strcmp(argv[I], "--no-enforce")) {

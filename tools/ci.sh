@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+#===- tools/ci.sh - Build-and-test pipeline ---------------------------------===#
+#
+# Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+#
+# Jobs:
+#   default    RelWithDebInfo build + full ctest suite
+#   tsan       ThreadSanitizer build + the concurrency-sensitive tests
+#              (parallel abstraction, prover, thread pool/support)
+#   asan       AddressSanitizer build + full ctest suite
+#   all        every job above, in order
+#
+# Usage: tools/ci.sh [default|tsan|asan|all]
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOB="${1:-default}"
+
+run_default() {
+  echo "=== ci: default build + full test suite ==="
+  cmake -B "$ROOT/build" -S "$ROOT" -DSLAM_SANITIZE=
+  cmake --build "$ROOT/build" -j
+  ctest --test-dir "$ROOT/build" --output-on-failure -j
+}
+
+run_tsan() {
+  echo "=== ci: ThreadSanitizer build + parallel tests ==="
+  cmake -B "$ROOT/build-tsan" -S "$ROOT" -DSLAM_SANITIZE=thread
+  cmake --build "$ROOT/build-tsan" -j
+  # The parallel abstraction tests drive the worker pool, the shared
+  # prover cache, and the merged statistics; the prover and support
+  # suites cover the pieces in isolation.
+  ctest --test-dir "$ROOT/build-tsan" --output-on-failure \
+    -R 'ParallelAbstraction|ThreadPool|Stats|Prover'
+}
+
+run_asan() {
+  echo "=== ci: AddressSanitizer build + full test suite ==="
+  cmake -B "$ROOT/build-asan" -S "$ROOT" -DSLAM_SANITIZE=address
+  cmake --build "$ROOT/build-asan" -j
+  ctest --test-dir "$ROOT/build-asan" --output-on-failure -j
+}
+
+case "$JOB" in
+  default) run_default ;;
+  tsan)    run_tsan ;;
+  asan)    run_asan ;;
+  all)     run_default; run_tsan; run_asan ;;
+  *) echo "ci.sh: unknown job '$JOB' (default|tsan|asan|all)" >&2; exit 2 ;;
+esac
+echo "=== ci: $JOB passed ==="

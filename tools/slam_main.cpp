@@ -12,6 +12,8 @@
 //   --entry <proc>          entry procedure (default: main)
 //   --max-iters <n>         refinement cap (default: 24)
 //   -k <n>                  cube length limit (default: 3)
+//   -j <n>                  worker threads for each abstraction pass
+//                           (default: 1; 0 = one per hardware thread)
 //
 // Without a property option, the program's own assert statements are
 // checked (starting from an empty predicate set).
@@ -20,6 +22,7 @@
 
 #include "cfront/Normalize.h"
 #include "slam/Cegar.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstring>
@@ -81,6 +84,15 @@ int main(int argc, char **argv) {
       Options.MaxIterations = std::atoi(argv[++I]);
     } else if (!std::strcmp(argv[I], "-k") && I + 1 < argc) {
       Options.C2bp.Cubes.MaxCubeLength = std::atoi(argv[++I]);
+    } else if (!std::strcmp(argv[I], "-j") && I + 1 < argc) {
+      Options.C2bp.NumWorkers = std::atoi(argv[++I]);
+      if (Options.C2bp.NumWorkers == 0)
+        Options.C2bp.NumWorkers =
+            static_cast<int>(ThreadPool::defaultConcurrency());
+      if (Options.C2bp.NumWorkers < 1) {
+        std::fprintf(stderr, "slam: bad worker count for -j\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "slam: unknown option '%s'\n", argv[I]);
       return 2;
