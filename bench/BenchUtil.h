@@ -30,6 +30,9 @@ struct RunRow {
   double BebopSeconds = 0;
   bool Violated = false;
   bool Ok = false;
+  size_t BddNodes = 0;
+  /// Bebop-side counters (BDD node/cache statistics among them).
+  std::map<std::string, uint64_t> BebopStats;
 };
 
 /// Runs C2bp (and Bebop when \p RunBebop) on one Table 2 workload.
@@ -55,11 +58,14 @@ inline RunRow runTable2(const workloads::Workload &W,
   Row.ProverCalls = Stats.get("prover.calls");
   Row.CubesChecked = Stats.get("c2bp.cubes_checked");
   if (BP && RunBebop) {
+    StatsRegistry BebopStats;
     Timer T2;
-    bebop::Bebop Checker(*BP);
+    bebop::Bebop Checker(*BP, &BebopStats);
     auto R = Checker.run(W.Entry);
     Row.BebopSeconds = T2.seconds();
     Row.Violated = R.AssertViolated;
+    Row.BddNodes = Checker.bddNodes();
+    Row.BebopStats = BebopStats.all();
   }
   Row.Ok = BP != nullptr;
   return Row;

@@ -71,6 +71,32 @@ void BM_Rename(benchmark::State &State) {
 }
 BENCHMARK(BM_Rename)->Arg(8)->Arg(16)->Arg(32);
 
+void BM_AndExists(benchmark::State &State) {
+  // The fused relational product vs. its unfused spelling over the
+  // post-image shape: exists(evens, states & transfer).
+  int N = static_cast<int>(State.range(0));
+  bool Fused = State.range(1) != 0;
+  BddManager M;
+  for (int I = 0; I != 2 * N; ++I)
+    M.newVar();
+  Node T = railEquality(M, N);
+  // A nontrivial state set over the even rail.
+  Node S = BddManager::True;
+  for (int I = 0; I + 2 < N; ++I)
+    S = M.mkAnd(S, M.mkOr(M.varNode(2 * I), M.varNode(2 * I + 2)));
+  std::vector<int> Evens;
+  for (int I = 0; I != N; ++I)
+    Evens.push_back(2 * I);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Fused ? M.andExists(S, T, Evens)
+                                   : M.exists(M.mkAnd(S, T), Evens));
+}
+BENCHMARK(BM_AndExists)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({32, 0})
+    ->Args({32, 1});
+
 void BM_IteChain(benchmark::State &State) {
   int N = static_cast<int>(State.range(0));
   for (auto _ : State) {

@@ -5,14 +5,22 @@
 //===----------------------------------------------------------------------===//
 //
 // The paper: "For all these examples ... Bebop ran in under 10 seconds
-// on the boolean program output by C2bp." Two measurements:
+// on the boolean program output by C2bp." Three measurements:
 //
 //   1. Bebop on every boolean program our Table 1 / Table 2 runs
 //      produce (all should be well under the bound);
 //   2. a synthetic scaling sweep: generated boolean programs with
 //      growing variable counts and loop nests, reporting time and peak
 //      BDD node counts (the symbolic representation is what keeps the
-//      2^n state spaces tractable).
+//      2^n state spaces tractable);
+//   3. a relational-product-heavy sweep: mirrored equalities spanning
+//      the variable order force path-edge BDDs exponential in the pair
+//      count, so the exists(and(...)) in Bebop's post-image dominates.
+//
+// `--json` prints the same measurements as a machine-readable snapshot
+// (a google-benchmark-style {"context", "benchmarks": [...]} object,
+// matching how bench_parallel_c2bp is consumed via
+// --benchmark_format=json) and skips the registered benchmarks.
 //
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +29,8 @@
 #include "bp/BPParser.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
 
 using namespace slam;
 
@@ -56,27 +66,65 @@ std::string syntheticBP(int NumVars) {
   return Out;
 }
 
-double runSynthetic(int NumVars, size_t *BddNodes = nullptr) {
+/// Generates the relational-product-heavy variant: the invariant pairs
+/// b_i with b_{N-1-i}, so every equality spans the whole variable order
+/// and the reachable-state BDD has ~2^(N/2) nodes. The loop churn then
+/// pushes that BDD through Bebop's post-image (an exists of a
+/// conjunction) on every iteration.
+std::string mirrorBP(int NumVars) {
+  std::string Out = "void main() begin\n  decl ";
+  for (int I = 0; I != NumVars; ++I)
+    Out += (I ? ", b" : "b") + std::to_string(I);
+  Out += ";\n";
+  for (int I = 0; I < NumVars / 2; ++I) {
+    Out += "  b" + std::to_string(I) + " := *;\n";
+    Out += "  b" + std::to_string(NumVars - 1 - I) + " := b" +
+           std::to_string(I) + ";\n";
+  }
+  Out += "  while (*) begin\n";
+  for (int I = 0; I < NumVars / 2; ++I) {
+    Out += "    if (*) begin\n";
+    Out += "      b" + std::to_string(I) + ", b" +
+           std::to_string(NumVars - 1 - I) + " := !b" + std::to_string(I) +
+           ", !b" + std::to_string(NumVars - 1 - I) + ";\n";
+    Out += "    end\n";
+  }
+  Out += "  end\n";
+  for (int I = 0; I < NumVars / 2; ++I)
+    Out += "  assert(b" + std::to_string(I) + " == b" +
+           std::to_string(NumVars - 1 - I) + ");\n";
+  Out += "end\n";
+  return Out;
+}
+
+struct SyntheticRun {
+  double Seconds = 0;
+  size_t BddNodes = 0;
+  bool Violated = false;
+  std::map<std::string, uint64_t> Stats;
+};
+
+SyntheticRun runGenerated(const std::string &Source) {
+  SyntheticRun Run;
   DiagnosticEngine Diags;
-  auto P = bp::parseBProgram(syntheticBP(NumVars), Diags);
+  auto P = bp::parseBProgram(Source, Diags);
+  StatsRegistry Stats;
   Timer T;
-  bebop::Bebop Checker(*P);
+  bebop::Bebop Checker(*P, &Stats);
   auto R = Checker.run("main");
-  double Secs = T.seconds();
-  if (R.AssertViolated)
-    std::printf("  (unexpected violation at %d vars!)\n", NumVars);
-  if (BddNodes)
-    *BddNodes = Checker.bddNodes();
-  return Secs;
+  Run.Seconds = T.seconds();
+  Run.Violated = R.AssertViolated;
+  Run.BddNodes = Checker.bddNodes();
+  Run.Stats = Stats.all();
+  return Run;
 }
 
 void BM_BebopSynthetic(benchmark::State &State) {
   int NumVars = static_cast<int>(State.range(0));
   for (auto _ : State) {
-    size_t Nodes = 0;
-    double Secs = runSynthetic(NumVars, &Nodes);
-    benchmark::DoNotOptimize(Secs);
-    State.counters["bdd_nodes"] = static_cast<double>(Nodes);
+    SyntheticRun Run = runGenerated(syntheticBP(NumVars));
+    benchmark::DoNotOptimize(Run.Seconds);
+    State.counters["bdd_nodes"] = static_cast<double>(Run.BddNodes);
   }
 }
 
@@ -87,27 +135,123 @@ BENCHMARK(BM_BebopSynthetic)
     ->Arg(32)
     ->Unit(benchmark::kMillisecond);
 
+void BM_BebopMirror(benchmark::State &State) {
+  int NumVars = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    SyntheticRun Run = runGenerated(mirrorBP(NumVars));
+    benchmark::DoNotOptimize(Run.Seconds);
+    State.counters["bdd_nodes"] = static_cast<double>(Run.BddNodes);
+  }
+}
+
+BENCHMARK(BM_BebopMirror)
+    ->Arg(16)
+    ->Arg(20)
+    ->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+void jsonEscapeAppend(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  std::printf("\nBebop on the Table 2 boolean programs (paper: \"under "
-              "10 seconds\" each)\n");
-  std::printf("%-10s %10s %9s\n", "program", "bebop (s)", "violated");
+  bool Json = false;
+  // Strip --json before google-benchmark sees the argument list.
+  int Out = 1;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--json"))
+      Json = true;
+    else
+      argv[Out++] = argv[I];
+  }
+  argc = Out;
+
+  std::string J = "{\n  \"context\": {\"tool\": \"bench_bebop\", "
+                  "\"mode\": \"snapshot\"},\n  \"benchmarks\": [";
+  bool FirstRow = true;
+  auto emit = [&](const std::string &Name, double Seconds, size_t BddNodes,
+                  bool Violated, const std::map<std::string, uint64_t> &Stats) {
+    if (!FirstRow)
+      J += ',';
+    FirstRow = false;
+    J += "\n    {\"name\": \"";
+    jsonEscapeAppend(J, Name);
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6f", Seconds);
+    J += std::string("\", \"seconds\": ") + Buf;
+    J += ", \"bdd_nodes\": " + std::to_string(BddNodes);
+    J += std::string(", \"violated\": ") + (Violated ? "true" : "false");
+    for (const auto &[Key, Value] : Stats) {
+      // Only the BDD-engine counters; step counts are noise here.
+      if (Key.rfind("bebop.bdd", 0) != 0)
+        continue;
+      J += ", \"";
+      jsonEscapeAppend(J, Key);
+      J += "\": " + std::to_string(Value);
+    }
+    J += "}";
+  };
+
+  if (!Json)
+    std::printf("\nBebop on the Table 2 boolean programs (paper: \"under "
+                "10 seconds\" each)\n%-10s %10s %9s\n", "program",
+                "bebop (s)", "violated");
   for (const workloads::Workload *W : workloads::table2Workloads()) {
     c2bp::C2bpOptions Options;
     Options.Cubes.MaxCubeLength = 3;
     benchutil::RunRow Row = benchutil::runTable2(*W, Options);
-    std::printf("%-10s %10.3f %9s\n", Row.Name.c_str(), Row.BebopSeconds,
-                Row.Violated ? "yes" : "no");
+    if (Json)
+      emit("table2/" + Row.Name, Row.BebopSeconds, Row.BddNodes,
+           Row.Violated, Row.BebopStats);
+    else
+      std::printf("%-10s %10.3f %9s\n", Row.Name.c_str(), Row.BebopSeconds,
+                  Row.Violated ? "yes" : "no");
   }
 
-  std::printf("\nSynthetic scaling (N correlated variables, loop churn; "
-              "2^N states):\n");
-  std::printf("%6s %10s %12s\n", "vars", "time (s)", "bdd nodes");
+  if (!Json)
+    std::printf("\nSynthetic scaling (N correlated variables, loop churn; "
+                "2^N states):\n%6s %10s %12s\n", "vars", "time (s)",
+                "bdd nodes");
   for (int N : {8, 16, 24, 32, 40}) {
-    size_t Nodes = 0;
-    double Secs = runSynthetic(N, &Nodes);
-    std::printf("%6d %10.3f %12zu\n", N, Secs, Nodes);
+    SyntheticRun Run = runGenerated(syntheticBP(N));
+    if (Run.Violated && !Json)
+      std::printf("  (unexpected violation at %d vars!)\n", N);
+    if (Json)
+      emit("synthetic/" + std::to_string(N), Run.Seconds, Run.BddNodes,
+           Run.Violated, Run.Stats);
+    else
+      std::printf("%6d %10.3f %12zu\n", N, Run.Seconds, Run.BddNodes);
+  }
+
+  if (!Json)
+    std::printf("\nRelational-product-heavy (mirrored equalities; path "
+                "edges ~2^(N/2) nodes):\n%6s %10s %12s %14s\n", "vars",
+                "time (s)", "bdd nodes", "andexists hits");
+  for (int N : {16, 20, 24}) {
+    SyntheticRun Run = runGenerated(mirrorBP(N));
+    if (Run.Violated && !Json)
+      std::printf("  (unexpected violation at %d vars!)\n", N);
+    if (Json)
+      emit("relprod/" + std::to_string(N), Run.Seconds, Run.BddNodes,
+           Run.Violated, Run.Stats);
+    else
+      std::printf("%6d %10.3f %12zu %14llu\n", N, Run.Seconds, Run.BddNodes,
+                  static_cast<unsigned long long>(
+                      Run.Stats.count("bebop.bdd.andexists.hits")
+                          ? Run.Stats.at("bebop.bdd.andexists.hits")
+                          : 0));
+  }
+
+  if (Json) {
+    J += "\n  ]\n}\n";
+    std::printf("%s", J.c_str());
+    return 0;
   }
 
   benchmark::Initialize(&argc, argv);

@@ -3,34 +3,180 @@
 // Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
 //
 //===----------------------------------------------------------------------===//
+//
+// Every operator below is an explicit-worklist (iterative) version of
+// the textbook recursion: a frame holds one subproblem, Phase tracks
+// which cofactor results have arrived, and `Ret` carries the value a
+// finished frame hands back to its parent. Operators call each other
+// (quantify uses mkOr to merge cofactors, andExists falls back to
+// quantify when one operand hits True) but never themselves, so each
+// operator owns a distinct scratch stack.
+//
+//===----------------------------------------------------------------------===//
 
 #include "bdd/Bdd.h"
 
+#include <algorithm>
 #include <cassert>
 #include <climits>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <set>
+#include <unordered_map>
 
 using namespace slam;
 using namespace slam::bdd;
 
+namespace {
+
+constexpr int InitialCacheLog = 12;
+constexpr int MaxCacheLog = 20; // 1M entries per cache, then evict-only.
+constexpr uint32_t InitialTableSize = 1u << 13;
+
+inline uint64_t mix64(uint64_t X) {
+  X ^= X >> 33;
+  X *= 0xff51afd7ed558ccdULL;
+  X ^= X >> 33;
+  X *= 0xc4ceb9fe1a85ec53ULL;
+  X ^= X >> 33;
+  return X;
+}
+
+inline uint64_t pack2(Node A, Node B) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(A)) << 32) |
+         static_cast<uint32_t>(B);
+}
+
+inline uint64_t pack3(Node A, Node B, Node C) {
+  uint64_t K = static_cast<uint32_t>(A);
+  K = K * 0x9e3779b97f4a7c15ULL ^ static_cast<uint32_t>(B);
+  K = K * 0x9e3779b97f4a7c15ULL ^ static_cast<uint32_t>(C);
+  return K;
+}
+
+[[noreturn]] void fatalRenameOrder(int From, int To) {
+  std::fprintf(stderr,
+               "BddManager::rename: order-preservation violated while "
+               "renaming variable %d to %d\n",
+               From, To);
+  std::abort();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Operation caches
+//===----------------------------------------------------------------------===//
+
+void BddManager::Cache2::init(int Log) {
+  LogSize = Log;
+  E.assign(size_t(1) << Log, Ent{});
+  Mask = (1u << Log) - 1;
+  InsertsSinceGrow = 0;
+}
+
+bool BddManager::Cache2::find(Node A, Node B, Node &R) {
+  ++Lookups;
+  const Ent &X = E[mix64(pack2(A, B)) & Mask];
+  if (X.A == A && X.B == B) {
+    ++Hits;
+    R = X.R;
+    return true;
+  }
+  return false;
+}
+
+void BddManager::Cache2::insert(Node A, Node B, Node R) {
+  E[mix64(pack2(A, B)) & Mask] = {A, B, R};
+  // Grow (clearing the entries) under sustained insert pressure, up to
+  // the cap; past the cap the direct-mapped overwrite is the eviction.
+  if (++InsertsSinceGrow >= E.size() * 2 && LogSize < MaxCacheLog)
+    init(LogSize + 1);
+}
+
+void BddManager::Cache3::init(int Log) {
+  LogSize = Log;
+  E.assign(size_t(1) << Log, Ent{});
+  Mask = (1u << Log) - 1;
+  InsertsSinceGrow = 0;
+}
+
+bool BddManager::Cache3::find(Node A, Node B, Node C, Node &R) {
+  ++Lookups;
+  const Ent &X = E[mix64(pack3(A, B, C)) & Mask];
+  if (X.A == A && X.B == B && X.C == C) {
+    ++Hits;
+    R = X.R;
+    return true;
+  }
+  return false;
+}
+
+void BddManager::Cache3::insert(Node A, Node B, Node C, Node R) {
+  E[mix64(pack3(A, B, C)) & Mask] = {A, B, C, R};
+  if (++InsertsSinceGrow >= E.size() * 2 && LogSize < MaxCacheLog)
+    init(LogSize + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Node store and unique table
+//===----------------------------------------------------------------------===//
+
 BddManager::BddManager() {
   Nodes.push_back({INT_MAX, False, False}); // 0 = false terminal.
   Nodes.push_back({INT_MAX, True, True});   // 1 = true terminal.
+  UniqueTable.assign(InitialTableSize, -1);
+  UniqueMask = InitialTableSize - 1;
+  IteCache.init(InitialCacheLog);
+  AndCache.init(InitialCacheLog);
+  OrCache.init(InitialCacheLog);
+  XorCache.init(InitialCacheLog);
+  ExistsCache.init(InitialCacheLog);
+  ForallCache.init(InitialCacheLog);
+  AndExistsCache.init(InitialCacheLog);
+  RestrictCache.init(InitialCacheLog);
+  RenameCache.init(InitialCacheLog);
 }
 
 int BddManager::newVar() { return NumVars++; }
 
+void BddManager::growUniqueTable() {
+  size_t NewSize = UniqueTable.size() * 2;
+  UniqueTable.assign(NewSize, -1);
+  UniqueMask = static_cast<uint32_t>(NewSize - 1);
+  for (Node N = 2; N < static_cast<Node>(Nodes.size()); ++N) {
+    const NodeData &D = Nodes[N];
+    uint32_t Idx = static_cast<uint32_t>(
+                       mix64(pack3(D.Var, D.Lo, D.Hi))) &
+                   UniqueMask;
+    while (UniqueTable[Idx] >= 0)
+      Idx = (Idx + 1) & UniqueMask;
+    UniqueTable[Idx] = N;
+  }
+}
+
 Node BddManager::mk(int Var, Node Lo, Node Hi) {
   if (Lo == Hi)
     return Lo;
-  auto Key = std::make_tuple(Var, Lo, Hi);
-  auto It = Unique.find(Key);
-  if (It != Unique.end())
-    return It->second;
+  uint32_t Idx =
+      static_cast<uint32_t>(mix64(pack3(Var, Lo, Hi))) & UniqueMask;
+  for (;;) {
+    Node S = UniqueTable[Idx];
+    if (S < 0)
+      break;
+    const NodeData &D = Nodes[S];
+    if (D.Var == Var && D.Lo == Lo && D.Hi == Hi) {
+      ++UniqueHits;
+      return S;
+    }
+    Idx = (Idx + 1) & UniqueMask;
+  }
   Node N = static_cast<Node>(Nodes.size());
   Nodes.push_back({Var, Lo, Hi});
-  Unique.emplace(Key, N);
+  UniqueTable[Idx] = N;
+  if (++UniqueUsed * 10 >= UniqueTable.size() * 7)
+    growUniqueTable();
   return N;
 }
 
@@ -44,157 +190,568 @@ Node BddManager::nvarNode(int Var) {
   return mk(Var, True, False);
 }
 
+//===----------------------------------------------------------------------===//
+// If-then-else with standard-triple canonicalization
+//===----------------------------------------------------------------------===//
+
 Node BddManager::mkIte(Node F, Node G, Node H) {
-  // Terminal cases.
-  if (F == True)
-    return G;
-  if (F == False)
-    return H;
-  if (G == H)
-    return G;
-  if (G == True && H == False)
-    return F;
-
-  auto Key = std::make_tuple(F, G, H);
-  auto It = IteCache.find(Key);
-  if (It != IteCache.end())
-    return It->second;
-
-  int Top = std::min(level(F), std::min(level(G), level(H)));
-  auto Cof = [this, Top](Node N, bool High) {
-    if (level(N) != Top)
-      return N;
-    return High ? Nodes[N].Hi : Nodes[N].Lo;
-  };
-  Node Lo = mkIte(Cof(F, false), Cof(G, false), Cof(H, false));
-  Node Hi = mkIte(Cof(F, true), Cof(G, true), Cof(H, true));
-  Node R = mk(Top, Lo, Hi);
-  IteCache.emplace(Key, R);
-  return R;
+  std::vector<IteFrame> &S = IteStack;
+  S.clear();
+  S.push_back({F, G, H, 0, 0, 0});
+  Node Ret = False;
+  while (!S.empty()) {
+    size_t Ti = S.size() - 1;
+    if (S[Ti].Phase == 0) {
+      Node TF = S[Ti].F, TG = S[Ti].G, TH = S[Ti].H;
+      if (TF == True) {
+        Ret = TG;
+        S.pop_back();
+        continue;
+      }
+      if (TF == False) {
+        Ret = TH;
+        S.pop_back();
+        continue;
+      }
+      // Standard triples: collapse repeated operands, then canonicalize
+      // the commutative or/and forms so ite(F,1,H) and ite(H,1,F) (resp.
+      // ite(F,G,0) / ite(G,F,0)) share one cache entry.
+      if (TG == TF)
+        TG = True;
+      if (TH == TF)
+        TH = False;
+      if (TG == TH) {
+        Ret = TG;
+        S.pop_back();
+        continue;
+      }
+      if (TG == True && TH == False) {
+        Ret = TF;
+        S.pop_back();
+        continue;
+      }
+      if (TG == True && TH < TF)
+        std::swap(TF, TH);
+      if (TH == False && TG < TF)
+        std::swap(TF, TG);
+      Node R;
+      if (IteCache.find(TF, TG, TH, R)) {
+        Ret = R;
+        S.pop_back();
+        continue;
+      }
+      int Top = std::min(level(TF), std::min(level(TG), level(TH)));
+      S[Ti] = {TF, TG, TH, 0, Top, 1};
+      S.push_back({cof(TF, Top, false), cof(TG, Top, false),
+                   cof(TH, Top, false), 0, 0, 0});
+      continue;
+    }
+    if (S[Ti].Phase == 1) {
+      S[Ti].Lo = Ret;
+      S[Ti].Phase = 2;
+      Node FH = cof(S[Ti].F, S[Ti].Top, true);
+      Node GH = cof(S[Ti].G, S[Ti].Top, true);
+      Node HH = cof(S[Ti].H, S[Ti].Top, true);
+      S.push_back({FH, GH, HH, 0, 0, 0});
+      continue;
+    }
+    Node R = mk(S[Ti].Top, S[Ti].Lo, Ret);
+    IteCache.insert(S[Ti].F, S[Ti].G, S[Ti].H, R);
+    Ret = R;
+    S.pop_back();
+  }
+  return Ret;
 }
+
+//===----------------------------------------------------------------------===//
+// Dedicated binary apply (and/or/xor)
+//===----------------------------------------------------------------------===//
+
+Node BddManager::applyBin(BinOp Op, Node A, Node B) {
+  Cache2 &C = Op == BinOp::And ? AndCache
+              : Op == BinOp::Or ? OrCache
+                                : XorCache;
+  std::vector<BinFrame> &S = BinStack;
+  S.clear();
+  S.push_back({A, B, 0, 0, 0});
+  Node Ret = False;
+  while (!S.empty()) {
+    size_t Ti = S.size() - 1;
+    if (S[Ti].Phase == 0) {
+      Node TA = S[Ti].A, TB = S[Ti].B;
+      bool Done = true;
+      switch (Op) {
+      case BinOp::And:
+        if (TA == False || TB == False)
+          Ret = False;
+        else if (TA == True)
+          Ret = TB;
+        else if (TB == True || TA == TB)
+          Ret = TA;
+        else
+          Done = false;
+        break;
+      case BinOp::Or:
+        if (TA == True || TB == True)
+          Ret = True;
+        else if (TA == False)
+          Ret = TB;
+        else if (TB == False || TA == TB)
+          Ret = TA;
+        else
+          Done = false;
+        break;
+      case BinOp::Xor:
+        if (TA == TB)
+          Ret = False;
+        else if (TA == False)
+          Ret = TB;
+        else if (TB == False)
+          Ret = TA;
+        else if (TA == True)
+          Ret = mkNot(TB);
+        else if (TB == True)
+          Ret = mkNot(TA);
+        else
+          Done = false;
+        break;
+      }
+      if (Done) {
+        S.pop_back();
+        continue;
+      }
+      if (TA > TB)
+        std::swap(TA, TB); // All three ops commute.
+      Node R;
+      if (C.find(TA, TB, R)) {
+        Ret = R;
+        S.pop_back();
+        continue;
+      }
+      int Top = std::min(level(TA), level(TB));
+      S[Ti] = {TA, TB, 0, Top, 1};
+      S.push_back({cof(TA, Top, false), cof(TB, Top, false), 0, 0, 0});
+      continue;
+    }
+    if (S[Ti].Phase == 1) {
+      S[Ti].Lo = Ret;
+      S[Ti].Phase = 2;
+      Node AH = cof(S[Ti].A, S[Ti].Top, true);
+      Node BH = cof(S[Ti].B, S[Ti].Top, true);
+      S.push_back({AH, BH, 0, 0, 0});
+      continue;
+    }
+    Node R = mk(S[Ti].Top, S[Ti].Lo, Ret);
+    C.insert(S[Ti].A, S[Ti].B, R);
+    Ret = R;
+    S.pop_back();
+  }
+  return Ret;
+}
+
+Node BddManager::mkAnd(Node A, Node B) { return applyBin(BinOp::And, A, B); }
+Node BddManager::mkOr(Node A, Node B) { return applyBin(BinOp::Or, A, B); }
+Node BddManager::mkXor(Node A, Node B) { return applyBin(BinOp::Xor, A, B); }
+
+//===----------------------------------------------------------------------===//
+// Cofactors, quantification, and the fused relational product
+//===----------------------------------------------------------------------===//
 
 Node BddManager::restrict(Node F, int Var, bool Value) {
   if (F <= True || level(F) > Var)
     return F;
-  if (level(F) == Var)
-    return Value ? Nodes[F].Hi : Nodes[F].Lo;
-  // level(F) < Var: rebuild children. Use the ite cache indirectly by
-  // routing through mkIte with the variable's literal. A direct
-  // recursion with a local memo is faster and simpler:
-  std::unordered_map<Node, Node> Memo;
-  std::function<Node(Node)> Rec = [&](Node N) -> Node {
-    if (N <= True || level(N) > Var)
-      return N;
-    auto It = Memo.find(N);
-    if (It != Memo.end())
-      return It->second;
+  Node Key = static_cast<Node>(2 * Var + (Value ? 1 : 0));
+  std::vector<UnFrame> &S = RestrictStack;
+  S.clear();
+  S.push_back({F, 0, 0});
+  Node Ret = False;
+  while (!S.empty()) {
+    size_t Ti = S.size() - 1;
+    if (S[Ti].Phase == 0) {
+      Node N = S[Ti].N;
+      if (N <= True || level(N) > Var) {
+        Ret = N;
+        S.pop_back();
+        continue;
+      }
+      if (level(N) == Var) {
+        Ret = Value ? Nodes[N].Hi : Nodes[N].Lo;
+        S.pop_back();
+        continue;
+      }
+      Node R;
+      if (RestrictCache.find(N, Key, R)) {
+        Ret = R;
+        S.pop_back();
+        continue;
+      }
+      S[Ti].Phase = 1;
+      S.push_back({Nodes[N].Lo, 0, 0});
+      continue;
+    }
+    if (S[Ti].Phase == 1) {
+      S[Ti].Lo = Ret;
+      S[Ti].Phase = 2;
+      Node Hi = Nodes[S[Ti].N].Hi;
+      S.push_back({Hi, 0, 0});
+      continue;
+    }
+    Node N = S[Ti].N;
+    Node R = mk(Nodes[N].Var, S[Ti].Lo, Ret);
+    RestrictCache.insert(N, Key, R);
+    Ret = R;
+    S.pop_back();
+  }
+  return Ret;
+}
+
+int BddManager::internCube(const std::vector<int> &Vars) {
+  auto It = CubeIds.find(Vars);
+  if (It != CubeIds.end())
+    return It->second;
+  int Id = static_cast<int>(CubeMasks.size());
+  std::vector<uint8_t> Mask(Vars.empty() ? 0 : Vars.back() + 1, 0);
+  for (int V : Vars)
+    Mask[V] = 1;
+  CubeMasks.push_back(std::move(Mask));
+  CubeIds.emplace(Vars, Id);
+  return Id;
+}
+
+Node BddManager::quantify(Node F, int CubeId, bool Exist) {
+  Cache2 &C = Exist ? ExistsCache : ForallCache;
+  std::vector<UnFrame> &S = QuantStack;
+  S.clear();
+  S.push_back({F, 0, 0});
+  Node Ret = False;
+  while (!S.empty()) {
+    size_t Ti = S.size() - 1;
+    if (S[Ti].Phase == 0) {
+      Node N = S[Ti].N;
+      if (N <= True) {
+        Ret = N;
+        S.pop_back();
+        continue;
+      }
+      Node R;
+      if (C.find(N, CubeId, R)) {
+        Ret = R;
+        S.pop_back();
+        continue;
+      }
+      S[Ti].Phase = 1;
+      S.push_back({Nodes[N].Lo, 0, 0});
+      continue;
+    }
+    if (S[Ti].Phase == 1) {
+      Node N = S[Ti].N;
+      // When the tested variable is quantified, the dominating cofactor
+      // short-circuits: exists is an OR of cofactors, forall an AND.
+      if (inCube(CubeId, Nodes[N].Var) &&
+          Ret == (Exist ? True : False)) {
+        C.insert(N, CubeId, Ret);
+        S.pop_back();
+        continue;
+      }
+      S[Ti].Lo = Ret;
+      S[Ti].Phase = 2;
+      S.push_back({Nodes[N].Hi, 0, 0});
+      continue;
+    }
+    Node N = S[Ti].N;
+    Node Lo = S[Ti].Lo;
     Node R;
-    if (level(N) == Var)
-      R = Value ? Nodes[N].Hi : Nodes[N].Lo;
+    if (inCube(CubeId, Nodes[N].Var))
+      R = Exist ? mkOr(Lo, Ret) : mkAnd(Lo, Ret);
     else
-      R = mk(Nodes[N].Var, Rec(Nodes[N].Lo), Rec(Nodes[N].Hi));
-    Memo.emplace(N, R);
-    return R;
-  };
-  return Rec(F);
+      R = mk(Nodes[N].Var, Lo, Ret);
+    C.insert(N, CubeId, R);
+    Ret = R;
+    S.pop_back();
+  }
+  return Ret;
 }
 
 Node BddManager::exists(Node F, const std::vector<int> &Vars) {
-  // Quantify highest-level (deepest) variables first to keep
-  // intermediate results small.
-  std::set<int> Sorted(Vars.begin(), Vars.end());
-  Node R = F;
-  for (auto It = Sorted.rbegin(); It != Sorted.rend(); ++It)
-    R = mkOr(restrict(R, *It, false), restrict(R, *It, true));
-  return R;
+  if (F <= True || Vars.empty())
+    return F;
+  std::vector<int> Sorted(Vars);
+  std::sort(Sorted.begin(), Sorted.end());
+  Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
+  return quantify(F, internCube(Sorted), /*Exist=*/true);
 }
 
 Node BddManager::forall(Node F, const std::vector<int> &Vars) {
-  std::set<int> Sorted(Vars.begin(), Vars.end());
-  Node R = F;
-  for (auto It = Sorted.rbegin(); It != Sorted.rend(); ++It)
-    R = mkAnd(restrict(R, *It, false), restrict(R, *It, true));
-  return R;
+  if (F <= True || Vars.empty())
+    return F;
+  std::vector<int> Sorted(Vars);
+  std::sort(Sorted.begin(), Sorted.end());
+  Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
+  return quantify(F, internCube(Sorted), /*Exist=*/false);
 }
 
+Node BddManager::andExistsRec(Node F, Node G, int CubeId) {
+  std::vector<BinFrame> &S = AndExStack;
+  S.clear();
+  S.push_back({F, G, 0, 0, 0});
+  Node Ret = False;
+  while (!S.empty()) {
+    size_t Ti = S.size() - 1;
+    if (S[Ti].Phase == 0) {
+      Node A = S[Ti].A, B = S[Ti].B;
+      if (A == False || B == False) {
+        Ret = False;
+        S.pop_back();
+        continue;
+      }
+      if (A == True && B == True) {
+        Ret = True;
+        S.pop_back();
+        continue;
+      }
+      if (A == True || B == True || A == B) {
+        // One conjunct is trivial: plain existential quantification.
+        Node Rest = A == True ? B : A;
+        Ret = quantify(Rest, CubeId, /*Exist=*/true);
+        S.pop_back();
+        continue;
+      }
+      if (A > B)
+        std::swap(A, B); // Conjunction commutes.
+      Node R;
+      if (AndExistsCache.find(A, B, CubeId, R)) {
+        Ret = R;
+        S.pop_back();
+        continue;
+      }
+      int Top = std::min(level(A), level(B));
+      S[Ti] = {A, B, 0, Top, 1};
+      S.push_back({cof(A, Top, false), cof(B, Top, false), 0, 0, 0});
+      continue;
+    }
+    if (S[Ti].Phase == 1) {
+      // Quantified level: result is an OR of the cofactor products, so a
+      // True low half short-circuits the whole subproblem.
+      if (inCube(CubeId, S[Ti].Top) && Ret == True) {
+        AndExistsCache.insert(S[Ti].A, S[Ti].B, CubeId, True);
+        S.pop_back();
+        continue;
+      }
+      S[Ti].Lo = Ret;
+      S[Ti].Phase = 2;
+      Node AH = cof(S[Ti].A, S[Ti].Top, true);
+      Node BH = cof(S[Ti].B, S[Ti].Top, true);
+      S.push_back({AH, BH, 0, 0, 0});
+      continue;
+    }
+    Node R = inCube(CubeId, S[Ti].Top) ? mkOr(S[Ti].Lo, Ret)
+                                       : mk(S[Ti].Top, S[Ti].Lo, Ret);
+    AndExistsCache.insert(S[Ti].A, S[Ti].B, CubeId, R);
+    Ret = R;
+    S.pop_back();
+  }
+  return Ret;
+}
+
+Node BddManager::andExists(Node F, Node G, const std::vector<int> &Vars) {
+  if (Vars.empty())
+    return mkAnd(F, G);
+  std::vector<int> Sorted(Vars);
+  std::sort(Sorted.begin(), Sorted.end());
+  Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
+  return andExistsRec(F, G, internCube(Sorted));
+}
+
+//===----------------------------------------------------------------------===//
+// Rename
+//===----------------------------------------------------------------------===//
+
 Node BddManager::rename(Node F, const std::map<int, int> &VarMap) {
-#ifndef NDEBUG
-  // Order preservation: the map, extended with identity on unmapped
-  // variables, must be strictly increasing.
+  // Precondition (checked in every build mode): the mapped pairs alone
+  // must be strictly order-preserving. This is necessary but not
+  // sufficient — collisions with unmapped variables of F are caught
+  // during the rebuild below.
   int PrevFrom = -1, PrevTo = -1;
   for (const auto &[From, To] : VarMap) {
-    assert(From > PrevFrom && To > PrevTo &&
-           "rename must be order-preserving");
+    if (From <= PrevFrom || To <= PrevTo || To < 0)
+      fatalRenameOrder(From, To);
     PrevFrom = From;
     PrevTo = To;
   }
-#endif
-  std::unordered_map<Node, Node> Memo;
-  std::function<Node(Node)> Rec = [&](Node N) -> Node {
-    if (N <= True)
-      return N;
-    auto It = Memo.find(N);
-    if (It != Memo.end())
-      return It->second;
-    int Var = Nodes[N].Var;
-    auto MapIt = VarMap.find(Var);
-    int NewVar = MapIt == VarMap.end() ? Var : MapIt->second;
-    Node R = mk(NewVar, Rec(Nodes[N].Lo), Rec(Nodes[N].Hi));
-    Memo.emplace(N, R);
-    return R;
+  if (F <= True || VarMap.empty())
+    return F;
+
+  std::vector<std::pair<int, int>> Pairs(VarMap.begin(), VarMap.end());
+  auto MapIt = RenameIds.find(Pairs);
+  int RenameId;
+  if (MapIt != RenameIds.end()) {
+    RenameId = MapIt->second;
+  } else {
+    RenameId = static_cast<int>(RenameMaps.size());
+    RenameMaps.push_back(Pairs);
+    RenameIds.emplace(std::move(Pairs), RenameId);
+  }
+  const std::vector<std::pair<int, int>> &Map = RenameMaps[RenameId];
+  auto MapVar = [&Map](int Var) {
+    auto It = std::lower_bound(
+        Map.begin(), Map.end(), Var,
+        [](const std::pair<int, int> &P, int V) { return P.first < V; });
+    return It != Map.end() && It->first == Var ? It->second : Var;
   };
-  return Rec(F);
+
+  std::vector<UnFrame> &S = RenameStack;
+  S.clear();
+  S.push_back({F, 0, 0});
+  Node Ret = False;
+  while (!S.empty()) {
+    size_t Ti = S.size() - 1;
+    if (S[Ti].Phase == 0) {
+      Node N = S[Ti].N;
+      if (N <= True) {
+        Ret = N;
+        S.pop_back();
+        continue;
+      }
+      Node R;
+      if (RenameCache.find(N, RenameId, R)) {
+        Ret = R;
+        S.pop_back();
+        continue;
+      }
+      S[Ti].Phase = 1;
+      S.push_back({Nodes[N].Lo, 0, 0});
+      continue;
+    }
+    if (S[Ti].Phase == 1) {
+      S[Ti].Lo = Ret;
+      S[Ti].Phase = 2;
+      Node Hi = Nodes[S[Ti].N].Hi;
+      S.push_back({Hi, 0, 0});
+      continue;
+    }
+    Node N = S[Ti].N;
+    int NewVar = MapVar(Nodes[N].Var);
+    // The rebuilt children are canonical diagrams over the renamed
+    // variables; if either one tests a level at or above NewVar, the
+    // extended map was not order-preserving and the result would be an
+    // unordered, unreduced diagram. Fail loudly in all build modes.
+    if (level(S[Ti].Lo) <= NewVar || level(Ret) <= NewVar)
+      fatalRenameOrder(Nodes[N].Var, NewVar);
+    Node R = mk(NewVar, S[Ti].Lo, Ret);
+    RenameCache.insert(N, RenameId, R);
+    Ret = R;
+    S.pop_back();
+  }
+  return Ret;
 }
 
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
 double BddManager::satCount(Node F, int OverVars) {
+  if (F == False)
+    return 0.0;
+  if (F == True)
+    return std::pow(2.0, OverVars);
   std::unordered_map<Node, double> Memo;
-  std::function<double(Node)> Rec = [&](Node N) -> double {
-    if (N == False)
-      return 0.0;
-    if (N == True)
-      return 1.0;
-    auto It = Memo.find(N);
-    if (It != Memo.end())
-      return It->second;
-    // Each child count is scaled by skipped levels at the call site;
-    // here count over the subspace below this node's variable.
-    double Lo = Rec(Nodes[N].Lo);
-    double Hi = Rec(Nodes[N].Hi);
+  struct CountFrame {
+    Node N;
+    double Lo;
+    uint8_t Phase;
+  };
+  std::vector<CountFrame> S;
+  S.push_back({F, 0.0, 0});
+  double Ret = 0.0;
+  while (!S.empty()) {
+    size_t Ti = S.size() - 1;
+    if (S[Ti].Phase == 0) {
+      Node N = S[Ti].N;
+      if (N == False) {
+        Ret = 0.0;
+        S.pop_back();
+        continue;
+      }
+      if (N == True) {
+        Ret = 1.0;
+        S.pop_back();
+        continue;
+      }
+      auto It = Memo.find(N);
+      if (It != Memo.end()) {
+        Ret = It->second;
+        S.pop_back();
+        continue;
+      }
+      S[Ti].Phase = 1;
+      S.push_back({Nodes[N].Lo, 0.0, 0});
+      continue;
+    }
+    if (S[Ti].Phase == 1) {
+      S[Ti].Lo = Ret;
+      S[Ti].Phase = 2;
+      Node Hi = Nodes[S[Ti].N].Hi;
+      S.push_back({Hi, 0.0, 0});
+      continue;
+    }
+    Node N = S[Ti].N;
+    // Each child count is scaled by the levels skipped on that edge; a
+    // count here covers the subspace below this node's variable. Zero
+    // counts contribute zero outright — the skip exponent can exceed
+    // double range, and 0 * inf would poison the total with NaN.
     int LoSkip =
         (Nodes[N].Lo <= True ? OverVars : level(Nodes[N].Lo)) -
         Nodes[N].Var - 1;
     int HiSkip =
         (Nodes[N].Hi <= True ? OverVars : level(Nodes[N].Hi)) -
         Nodes[N].Var - 1;
-    double R = Lo * std::pow(2.0, LoSkip) + Hi * std::pow(2.0, HiSkip);
+    double R =
+        (S[Ti].Lo == 0.0 ? 0.0 : S[Ti].Lo * std::pow(2.0, LoSkip)) +
+        (Ret == 0.0 ? 0.0 : Ret * std::pow(2.0, HiSkip));
     Memo.emplace(N, R);
-    return R;
-  };
-  if (F == False)
-    return 0.0;
-  if (F == True)
-    return std::pow(2.0, OverVars);
-  return Rec(F) * std::pow(2.0, level(F));
+    Ret = R;
+    S.pop_back();
+  }
+  return Ret * std::pow(2.0, level(F));
 }
 
 void BddManager::forEachCube(
     Node F,
     const std::function<void(const std::map<int, bool> &)> &Callback) {
-  std::map<int, bool> Path;
-  std::function<void(Node)> Rec = [&](Node N) {
-    if (N == False)
-      return;
-    if (N == True) {
-      Callback(Path);
-      return;
-    }
-    Path[Nodes[N].Var] = false;
-    Rec(Nodes[N].Lo);
-    Path[Nodes[N].Var] = true;
-    Rec(Nodes[N].Hi);
-    Path.erase(Nodes[N].Var);
+  // Action stack: visit-with-assignment actions interleaved with erase
+  // actions so the path map mirrors the recursive traversal exactly
+  // (low branch under Var=false first, then high under Var=true).
+  struct Act {
+    Node N;
+    int Var;
+    int8_t Kind; // 0 visit, 1 assign-false+visit, 2 assign-true+visit,
+                 // 3 erase.
   };
-  Rec(F);
+  std::map<int, bool> Path;
+  std::vector<Act> S;
+  S.push_back({F, -1, 0});
+  while (!S.empty()) {
+    Act A = S.back();
+    S.pop_back();
+    if (A.Kind == 3) {
+      Path.erase(A.Var);
+      continue;
+    }
+    if (A.Kind == 1)
+      Path[A.Var] = false;
+    else if (A.Kind == 2)
+      Path[A.Var] = true;
+    if (A.N == False)
+      continue;
+    if (A.N == True) {
+      Callback(Path);
+      continue;
+    }
+    int Var = Nodes[A.N].Var;
+    S.push_back({False, Var, 3});
+    S.push_back({Nodes[A.N].Hi, Var, 2});
+    S.push_back({Nodes[A.N].Lo, Var, 1});
+  }
 }
 
 std::map<int, bool> BddManager::anySat(Node F) {
@@ -231,12 +788,45 @@ bool BddManager::eval(Node F, const std::map<int, bool> &Assignment) const {
 
 size_t BddManager::nodeCount(Node F) const {
   std::set<Node> Seen;
-  std::function<void(Node)> Rec = [&](Node N) {
+  std::vector<Node> S;
+  S.push_back(F);
+  while (!S.empty()) {
+    Node N = S.back();
+    S.pop_back();
     if (N <= True || !Seen.insert(N).second)
-      return;
-    Rec(Nodes[N].Lo);
-    Rec(Nodes[N].Hi);
-  };
-  Rec(F);
+      continue;
+    S.push_back(Nodes[N].Lo);
+    S.push_back(Nodes[N].Hi);
+  }
   return Seen.size() + 2;
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+void BddManager::reportStats(StatsRegistry &Stats,
+                             const std::string &Prefix) const {
+  Stats.set(Prefix + "nodes", Nodes.size());
+  Stats.set(Prefix + "unique.hits", UniqueHits);
+  Stats.set(Prefix + "unique.capacity", UniqueTable.size());
+  auto Rep2 = [&](const char *Name, const Cache2 &C) {
+    Stats.set(Prefix + Name + ".lookups", C.Lookups);
+    Stats.set(Prefix + Name + ".hits", C.Hits);
+    Stats.set(Prefix + Name + ".capacity", C.E.size());
+  };
+  auto Rep3 = [&](const char *Name, const Cache3 &C) {
+    Stats.set(Prefix + Name + ".lookups", C.Lookups);
+    Stats.set(Prefix + Name + ".hits", C.Hits);
+    Stats.set(Prefix + Name + ".capacity", C.E.size());
+  };
+  Rep3("ite", IteCache);
+  Rep2("and", AndCache);
+  Rep2("or", OrCache);
+  Rep2("xor", XorCache);
+  Rep2("exists", ExistsCache);
+  Rep2("forall", ForallCache);
+  Rep3("andexists", AndExistsCache);
+  Rep2("restrict", RestrictCache);
+  Rep2("rename", RenameCache);
 }

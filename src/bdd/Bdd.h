@@ -7,23 +7,35 @@
 /// \file
 /// A from-scratch ROBDD package [9] — the symbolic representation Bebop
 /// uses for reachable-state sets and statement transfer functions. Nodes
-/// are interned in a unique table (so BDD equality is integer equality),
-/// all boolean connectives route through a memoized ite, and the
-/// quantification/rename operations Bebop needs (exists over a variable
-/// set, order-preserving renaming between variable rails) are provided.
+/// are interned in an open-addressing unique table (so BDD equality is
+/// integer equality); the boolean connectives are memoized apply
+/// operators with per-operation bounded caches, and the
+/// quantification/rename operations Bebop needs (exists/forall over a
+/// variable set, the fused relational product andExists, and
+/// order-preserving renaming between variable rails) are provided.
 ///
-/// No garbage collection: the model-checking runs in this project peak
-/// at well under a million nodes.
+/// Engine policy:
+///  - Nodes are never garbage collected: they live for the manager's
+///    lifetime and handles stay valid. The unique table grows as needed.
+///  - Operation caches are direct-mapped, size-capped arrays with
+///    overwrite-on-collision eviction, so memory stays bounded no matter
+///    how many operations run. Eviction only costs recomputation; every
+///    operator result is canonical regardless of cache contents.
+///  - All traversals run on explicit worklists (no native recursion), so
+///    diagrams that are hundreds of thousands of nodes deep cannot
+///    overflow the C stack.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef BDD_BDD_H
 #define BDD_BDD_H
 
+#include "support/Stats.h"
+
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
 namespace slam {
@@ -50,16 +62,16 @@ public:
   Node nvarNode(int Var); ///< The function `!Var`.
   Node constant(bool B) { return B ? True : False; }
 
-  // -- Connectives ------------------------------------------------------------
+  // -- Connectives ----------------------------------------------------------
   Node mkIte(Node F, Node G, Node H);
-  Node mkAnd(Node A, Node B) { return mkIte(A, B, False); }
-  Node mkOr(Node A, Node B) { return mkIte(A, True, B); }
+  Node mkAnd(Node A, Node B);
+  Node mkOr(Node A, Node B);
+  Node mkXor(Node A, Node B);
   Node mkNot(Node A) { return mkIte(A, False, True); }
-  Node mkXor(Node A, Node B) { return mkIte(A, mkNot(B), B); }
   Node mkXnor(Node A, Node B) { return mkIte(A, B, mkNot(B)); }
   Node mkImplies(Node A, Node B) { return mkIte(A, B, True); }
 
-  // -- Cofactors and quantification ------------------------------------------
+  // -- Cofactors and quantification -----------------------------------------
   /// F with Var fixed to Value.
   Node restrict(Node F, int Var, bool Value);
 
@@ -69,13 +81,22 @@ public:
   /// Universal quantification.
   Node forall(Node F, const std::vector<int> &Vars);
 
+  /// The fused relational product exists(Vars, F & G), computed in one
+  /// traversal with its own memo instead of materializing the
+  /// conjunction first. This is the hot operator of Bebop's post-image,
+  /// summary-edge, and call-site computations.
+  Node andExists(Node F, Node G, const std::vector<int> &Vars);
+
   /// Renames variables: each (From -> To) pair replaces From by To. The
-  /// map must be strictly order-preserving on levels and targets must
-  /// not collide with remaining variables of F in a way that reorders
-  /// levels (asserted). This covers Bebop's rail-to-rail renames.
+  /// map, extended with the identity on unmapped variables, must be
+  /// strictly order-preserving on levels; violations (including targets
+  /// that collide with unmapped variables of F) are detected during the
+  /// rebuild and abort in every build mode — a silently unordered
+  /// diagram would poison all later operations. This covers Bebop's
+  /// rail-to-rail renames.
   Node rename(Node F, const std::map<int, int> &VarMap);
 
-  // -- Queries ------------------------------------------------------------
+  // -- Queries --------------------------------------------------------------
   bool isSat(Node F) const { return F != False; }
   bool isTautology(Node F) const { return F == True; }
 
@@ -100,9 +121,13 @@ public:
   /// Structural node count of one BDD (distinct reachable nodes).
   size_t nodeCount(Node F) const;
 
+  /// Publishes node and cache counters (lookups/hits/capacity per
+  /// operation) into \p Stats under \p Prefix, e.g. "bebop.bdd.".
+  void reportStats(StatsRegistry &Stats, const std::string &Prefix) const;
+
 private:
   struct NodeData {
-    int Var;
+    int32_t Var;
     Node Lo;
     Node Hi;
   };
@@ -111,31 +136,99 @@ private:
     return Nodes[N].Var; // Terminals have Var = INT_MAX.
   }
 
+  /// Child of N at \p Top: cofactor if N tests Top, else N itself.
+  Node cof(Node N, int Top, bool High) const {
+    if (level(N) != Top)
+      return N;
+    return High ? Nodes[N].Hi : Nodes[N].Lo;
+  }
+
   Node mk(int Var, Node Lo, Node Hi);
+  void growUniqueTable();
+
+  // -- Bounded direct-mapped operation caches -------------------------------
+  struct Cache2 {
+    struct Ent {
+      Node A = -1, B = -1, R = 0;
+    };
+    std::vector<Ent> E;
+    uint32_t Mask = 0;
+    uint64_t Lookups = 0, Hits = 0, InsertsSinceGrow = 0;
+    int LogSize = 0;
+
+    void init(int Log);
+    bool find(Node A, Node B, Node &R);
+    void insert(Node A, Node B, Node R);
+  };
+  struct Cache3 {
+    struct Ent {
+      Node A = -1, B = -1, C = -1, R = 0;
+    };
+    std::vector<Ent> E;
+    uint32_t Mask = 0;
+    uint64_t Lookups = 0, Hits = 0, InsertsSinceGrow = 0;
+    int LogSize = 0;
+
+    void init(int Log);
+    bool find(Node A, Node B, Node C, Node &R);
+    void insert(Node A, Node B, Node C, Node R);
+  };
+
+  enum class BinOp { And, Or, Xor };
+  Node applyBin(BinOp Op, Node A, Node B);
+
+  /// Interns a sorted, deduplicated variable set; returns its id.
+  int internCube(const std::vector<int> &Vars);
+  bool inCube(int CubeId, int Var) const {
+    const std::vector<uint8_t> &Mask = CubeMasks[CubeId];
+    return static_cast<size_t>(Var) < Mask.size() && Mask[Var];
+  }
+
+  Node quantify(Node F, int CubeId, bool Exist);
+  Node andExistsRec(Node F, Node G, int CubeId);
 
   std::vector<NodeData> Nodes;
   int NumVars = 0;
 
-  struct TripleHash {
-    size_t operator()(const std::tuple<int, Node, Node> &T) const {
-      auto [A, B, C] = T;
-      size_t H = std::hash<int>()(A);
-      H = H * 1000003u ^ std::hash<Node>()(B);
-      H = H * 1000003u ^ std::hash<Node>()(C);
-      return H;
-    }
+  // Open-addressing unique table over node ids (-1 = empty slot).
+  std::vector<Node> UniqueTable;
+  uint32_t UniqueMask = 0;
+  size_t UniqueUsed = 0;
+  uint64_t UniqueHits = 0;
+
+  Cache3 IteCache;
+  Cache2 AndCache, OrCache, XorCache;
+  Cache2 ExistsCache, ForallCache;
+  Cache3 AndExistsCache; // (F, G, cube id).
+  Cache2 RestrictCache;  // (F, 2*Var + Value).
+  Cache2 RenameCache;    // (F, rename id).
+
+  // Interned quantification cubes and rename maps.
+  std::map<std::vector<int>, int> CubeIds;
+  std::vector<std::vector<uint8_t>> CubeMasks;
+  std::map<std::vector<std::pair<int, int>>, int> RenameIds;
+  std::vector<std::vector<std::pair<int, int>>> RenameMaps;
+
+  // Reused traversal scratch. Distinct per operation because operators
+  // call each other (quantify -> mkOr, andExists -> quantify), but no
+  // operator ever re-enters itself.
+  struct IteFrame {
+    Node F, G, H, Lo;
+    int Top;
+    uint8_t Phase;
   };
-  struct IteHash {
-    size_t operator()(const std::tuple<Node, Node, Node> &T) const {
-      auto [A, B, C] = T;
-      size_t H = std::hash<Node>()(A);
-      H = H * 1000003u ^ std::hash<Node>()(B);
-      H = H * 1000003u ^ std::hash<Node>()(C);
-      return H;
-    }
+  struct BinFrame {
+    Node A, B, Lo;
+    int Top;
+    uint8_t Phase;
   };
-  std::unordered_map<std::tuple<int, Node, Node>, Node, TripleHash> Unique;
-  std::unordered_map<std::tuple<Node, Node, Node>, Node, IteHash> IteCache;
+  struct UnFrame {
+    Node N, Lo;
+    uint8_t Phase;
+  };
+  std::vector<IteFrame> IteStack;
+  std::vector<BinFrame> BinStack, AndExStack;
+  std::vector<UnFrame> QuantStack, RestrictStack, RenameStack;
 };
 
 } // namespace bdd

@@ -247,11 +247,10 @@ struct Bebop::Impl {
   Node applyStaged(ProcInfo &PI, Node S, Node T,
                    const std::vector<int> &TargetIdx,
                    const std::vector<int> &Choices) {
-    Node R = M.mkAnd(S, T);
     std::vector<int> Quant = Choices;
     for (int VI : TargetIdx)
       Quant.push_back(railVar(PI, VI, RailC));
-    R = M.exists(R, Quant);
+    Node R = M.andExists(S, T, Quant);
     std::map<int, int> Ren;
     for (int VI : TargetIdx)
       Ren[railVar(PI, VI, RailN)] = railVar(PI, VI, RailC);
@@ -389,10 +388,10 @@ struct Bebop::Impl {
     // 1. Propagate entry states into the callee.
     {
       std::vector<int> Choices;
-      Node In = M.mkAnd(S, bindIn(Caller, Callee, CallS, Choices));
+      Node In = bindIn(Caller, Callee, CallS, Choices);
       std::vector<int> Quant = allRailVars(Caller, {RailE, RailC});
       Quant.insert(Quant.end(), Choices.begin(), Choices.end());
-      Node EntrySE = M.exists(In, Quant);
+      Node EntrySE = M.andExists(S, In, Quant);
       std::map<int, int> Ren;
       for (int V = 0; V != Callee.numVars(); ++V)
         Ren[railVar(Callee, V, RailSE)] = railVar(Callee, V, RailE);
@@ -406,13 +405,12 @@ struct Bebop::Impl {
     Node In = bindIn(Caller, Callee, CallS, Choices);
     std::vector<int> ChangedIdx;
     Node OutBind = bindOut(Caller, Callee, CallS, ChangedIdx);
-    Node Comb =
-        M.mkAnd(M.mkAnd(M.mkAnd(S, In), Callee.Summary), OutBind);
+    Node Left = M.mkAnd(M.mkAnd(S, In), OutBind);
     std::vector<int> Quant = allRailVars(Callee, {RailSE, RailSC});
     Quant.insert(Quant.end(), Choices.begin(), Choices.end());
     for (int VI : ChangedIdx)
       Quant.push_back(railVar(Caller, VI, RailC));
-    Comb = M.exists(Comb, Quant);
+    Node Comb = M.andExists(Left, Callee.Summary, Quant);
     std::map<int, int> Ren;
     for (int VI : ChangedIdx)
       Ren[railVar(Caller, VI, RailN)] = railVar(Caller, VI, RailC);
@@ -570,7 +568,7 @@ struct Bebop::Impl {
       std::vector<int> Quant = Choices;
       for (int VI : TargetIdx)
         Quant.push_back(railVar(PI, VI, RailN));
-      return M.exists(M.mkAnd(T, XN), Quant);
+      return M.andExists(T, XN, Quant);
     }
     case NodeOp::Call: {
       ProcInfo &Callee = Procs[ProcIndex.at(N.Stmt->Callee)];
@@ -583,12 +581,12 @@ struct Bebop::Impl {
       for (int VI : ChangedIdx)
         Ren[railVar(PI, VI, RailC)] = railVar(PI, VI, RailN);
       Node XN = M.rename(X, Ren);
-      Node Comb = M.mkAnd(M.mkAnd(M.mkAnd(In, Sum), OutBind), XN);
+      Node Left = M.mkAnd(M.mkAnd(In, OutBind), XN);
       std::vector<int> Quant = allRailVars(Callee, {RailSE, RailSC});
       Quant.insert(Quant.end(), Choices.begin(), Choices.end());
       for (int VI : ChangedIdx)
         Quant.push_back(railVar(PI, VI, RailN));
-      return M.exists(Comb, Quant);
+      return M.andExists(Left, Sum, Quant);
     }
     }
     return X;
@@ -694,12 +692,12 @@ struct Bebop::Impl {
         for (int VI : ChangedIdx)
           Ren[railVar(PI, VI, RailC)] = railVar(PI, VI, RailN);
         Node XN = M.rename(CurX, Ren);
-        Node W = M.mkAnd(M.mkAnd(M.mkAnd(BestY, In), OutBind), XN);
+        Node W = M.mkAnd(M.mkAnd(BestY, In), OutBind);
         std::vector<int> Quant = allRailVars(PI, {RailE, RailC});
         for (int VI : ChangedIdx)
           Quant.push_back(railVar(PI, VI, RailN));
         Quant.insert(Quant.end(), Choices.begin(), Choices.end());
-        Node Z = M.exists(W, Quant); // Over callee (SE, SC).
+        Node Z = M.andExists(W, XN, Quant); // Over callee (SE, SC).
         std::map<int, int> Back;
         for (int V = 0; V != Callee.numVars(); ++V) {
           Back[railVar(Callee, V, RailSE)] = railVar(Callee, V, RailE);
@@ -764,10 +762,9 @@ struct Bebop::Impl {
       for (int V = 0; V != Callee.numVars(); ++V)
         Ren[railVar(Callee, V, RailE)] = railVar(Callee, V, RailSE);
       Node EntrySE = M.rename(M.mkAnd(T.EntryStates, Rec->States), Ren);
-      Node W = M.mkAnd(In, EntrySE);
       std::vector<int> Quant = allRailVars(Callee, {RailSE});
       Quant.insert(Quant.end(), Choices.begin(), Choices.end());
-      Node CallerX = M.exists(W, Quant);
+      Node CallerX = M.andExists(In, EntrySE, Quant);
       CallerX = M.mkAnd(
           CallerX, peBefore(Rec->CallerProc, Rec->CallerNode, Rec->Rank));
 
@@ -804,8 +801,10 @@ CheckResult Bebop::run(const std::string &EntryProc,
     R.FailingStmt = M->Procs[M->FailProc].Cfg->node(M->FailNode).Stmt;
     R.Trace = M->buildTrace();
   }
-  if (M->Stats)
+  if (M->Stats) {
     M->Stats->set("bebop.bdd_nodes", M->M.numNodes());
+    M->M.reportStats(*M->Stats, "bebop.bdd.");
+  }
   return R;
 }
 

@@ -25,9 +25,10 @@ int Simplex::defineVar(const LinearExpr &Definition, bool Integer) {
   // Expand any basic variables in the definition so the row mentions
   // only nonbasic variables, and compute the initial assignment.
   LinearExpr Row;
-  auto Accumulate = [&Row](int Var, const Rational &Coeff) {
+  auto Accumulate = [this, &Row](int Var, const Rational &Coeff) {
     Rational &Slot = Row[Var];
     Slot += Coeff;
+    note(Slot);
     if (Slot.isZero())
       Row.erase(Var);
   };
@@ -45,6 +46,7 @@ int Simplex::defineVar(const LinearExpr &Definition, bool Integer) {
   Rational Value(0);
   for (const auto &[Sub, Coeff] : Row)
     Value += Coeff * Assignment[Sub];
+  note(Value);
   Assignment[Var] = Value;
   IsBasic[Var] = true;
   Rows.emplace(Var, std::move(Row));
@@ -52,6 +54,7 @@ int Simplex::defineVar(const LinearExpr &Definition, bool Integer) {
 }
 
 bool Simplex::assertLower(int Var, const Rational &Bound) {
+  note(Bound);
   if (Lower[Var] && *Lower[Var] >= Bound)
     return true; // Not a tightening.
   if (Upper[Var] && Bound > *Upper[Var])
@@ -63,8 +66,10 @@ bool Simplex::assertLower(int Var, const Rational &Bound) {
     Rational Delta = Bound - Assignment[Var];
     for (auto &[Basic, Row] : Rows) {
       auto It = Row.find(Var);
-      if (It != Row.end())
+      if (It != Row.end()) {
         Assignment[Basic] += It->second * Delta;
+        note(Assignment[Basic]);
+      }
     }
     Assignment[Var] = Bound;
   }
@@ -72,6 +77,7 @@ bool Simplex::assertLower(int Var, const Rational &Bound) {
 }
 
 bool Simplex::assertUpper(int Var, const Rational &Bound) {
+  note(Bound);
   if (Upper[Var] && *Upper[Var] <= Bound)
     return true;
   if (Lower[Var] && Bound < *Lower[Var])
@@ -81,8 +87,10 @@ bool Simplex::assertUpper(int Var, const Rational &Bound) {
     Rational Delta = Bound - Assignment[Var];
     for (auto &[Basic, Row] : Rows) {
       auto It = Row.find(Var);
-      if (It != Row.end())
+      if (It != Row.end()) {
         Assignment[Basic] += It->second * Delta;
+        note(Assignment[Basic]);
+      }
     }
     Assignment[Var] = Bound;
   }
@@ -98,10 +106,12 @@ void Simplex::pivot(int Basic, int NonBasic) {
   // NonBasic = (Basic - sum_{j != NonBasic} c_j * y_j) / A.
   LinearExpr NewRow;
   NewRow[Basic] = Rational(1) / A;
+  note(NewRow[Basic]);
   for (const auto &[Var, Coeff] : Row) {
     if (Var == NonBasic)
       continue;
     NewRow[Var] = -(Coeff / A);
+    note(NewRow[Var]);
   }
 
   IsBasic[Basic] = false;
@@ -117,6 +127,7 @@ void Simplex::pivot(int Basic, int NonBasic) {
     for (const auto &[Var, Coeff] : NewRow) {
       Rational &Slot = OtherRow[Var];
       Slot += C * Coeff;
+      note(Slot);
       if (Slot.isZero())
         OtherRow.erase(Var);
     }
@@ -128,20 +139,27 @@ void Simplex::pivotAndUpdate(int Basic, int NonBasic,
                              const Rational &NewValue) {
   Rational A = Rows[Basic][NonBasic];
   Rational Theta = (NewValue - Assignment[Basic]) / A;
+  note(Theta);
   Assignment[Basic] = NewValue;
   Assignment[NonBasic] += Theta;
+  note(Assignment[NonBasic]);
   for (const auto &[OtherBasic, Row] : Rows) {
     if (OtherBasic == Basic)
       continue;
     auto It = Row.find(NonBasic);
-    if (It != Row.end())
+    if (It != Row.end()) {
       Assignment[OtherBasic] += It->second * Theta;
+      note(Assignment[OtherBasic]);
+    }
   }
   pivot(Basic, NonBasic);
 }
 
 LinResult Simplex::checkRational() {
   for (;;) {
+    // A poisoned tableau cannot be trusted in either direction.
+    if (Poisoned)
+      return LinResult::Unknown;
     // Bland's rule: smallest-index violating basic variable.
     int Violating = -1;
     bool BelowLower = false;
@@ -206,8 +224,11 @@ LinResult Simplex::branchAndBound(int &NodeBudget) {
 
   {
     Simplex Down(*this);
-    if (Down.assertUpper(Fractional, Rational(Floor))) {
+    bool BoundOk = Down.assertUpper(Fractional, Rational(Floor));
+    Poisoned |= Down.Poisoned; // Sticks even when the branch is cut.
+    if (BoundOk) {
       LinResult R = Down.branchAndBound(NodeBudget);
+      Poisoned |= Down.Poisoned;
       if (R == LinResult::Sat) {
         *this = std::move(Down);
         return LinResult::Sat;
@@ -217,8 +238,11 @@ LinResult Simplex::branchAndBound(int &NodeBudget) {
   }
   {
     Simplex Up(*this);
-    if (Up.assertLower(Fractional, Rational(Floor + 1))) {
+    bool BoundOk = Up.assertLower(Fractional, Rational(Floor + 1));
+    Poisoned |= Up.Poisoned;
+    if (BoundOk) {
       LinResult R = Up.branchAndBound(NodeBudget);
+      Poisoned |= Up.Poisoned;
       if (R == LinResult::Sat) {
         *this = std::move(Up);
         return LinResult::Sat;
@@ -230,7 +254,8 @@ LinResult Simplex::branchAndBound(int &NodeBudget) {
 }
 
 LinResult Simplex::check(int NodeBudget) {
-  return branchAndBound(NodeBudget);
+  LinResult R = branchAndBound(NodeBudget);
+  return Poisoned ? LinResult::Unknown : R;
 }
 
 Rational Simplex::value(int Var) const { return Assignment[Var]; }
@@ -242,7 +267,10 @@ LinResult Simplex::probeUpper(const LinearExpr &Expr, const Rational &Bound,
   for (const auto &[Var, Coeff] : Expr)
     Integral &= Probe.IsInteger[Var] && Coeff.isInteger();
   int Slack = Probe.defineVar(Expr, Integral);
-  if (!Probe.assertUpper(Slack, Bound))
+  bool BoundOk = Probe.assertUpper(Slack, Bound);
+  if (Probe.Poisoned)
+    return LinResult::Unknown; // A poisoned clash may be spurious.
+  if (!BoundOk)
     return LinResult::Unsat;
   return Probe.check(NodeBudget);
 }
@@ -254,7 +282,10 @@ LinResult Simplex::probeLower(const LinearExpr &Expr, const Rational &Bound,
   for (const auto &[Var, Coeff] : Expr)
     Integral &= Probe.IsInteger[Var] && Coeff.isInteger();
   int Slack = Probe.defineVar(Expr, Integral);
-  if (!Probe.assertLower(Slack, Bound))
+  bool BoundOk = Probe.assertLower(Slack, Bound);
+  if (Probe.Poisoned)
+    return LinResult::Unknown; // A poisoned clash may be spurious.
+  if (!BoundOk)
     return LinResult::Unsat;
   return Probe.check(NodeBudget);
 }

@@ -29,8 +29,9 @@ namespace prover {
 /// A linear combination of solver variables: var index -> coefficient.
 using LinearExpr = std::map<int, Rational>;
 
-/// Feasibility answer; Unknown arises only when the branch-and-bound
-/// node budget is exhausted.
+/// Feasibility answer; Unknown arises when the branch-and-bound node
+/// budget is exhausted or when Rational arithmetic overflows 64 bits
+/// (the poisoned solver answers conservatively rather than wrong).
 enum class LinResult { Sat, Unsat, Unknown };
 
 /// Incremental-by-copy Simplex instance. Build the problem with
@@ -79,6 +80,10 @@ private:
   void pivotAndUpdate(int Basic, int NonBasic, const Rational &NewValue);
   LinResult branchAndBound(int &NodeBudget);
 
+  /// Records whether \p R is the overflow poison; once set, check()
+  /// answers Unknown (the tableau can no longer be trusted).
+  void note(const Rational &R) { Poisoned |= R.isOverflow(); }
+
   /// Row per basic variable: Basic = sum of coeff * nonbasic.
   std::map<int, LinearExpr> Rows;
   std::vector<std::optional<Rational>> Lower;
@@ -86,6 +91,7 @@ private:
   std::vector<Rational> Assignment;
   std::vector<bool> IsInteger;
   std::vector<bool> IsBasic;
+  bool Poisoned = false;
 };
 
 } // namespace prover

@@ -49,3 +49,54 @@ TEST(Rational, Printing) {
   EXPECT_EQ(Rational(3).str(), "3");
   EXPECT_EQ(Rational(-7, 2).str(), "-7/2");
 }
+
+TEST(Rational, OverflowPoisonFromArithmetic) {
+  // INT64_MAX/2 * 3 does not fit; the product must poison, not truncate.
+  Rational Big(INT64_MAX / 2);
+  Rational P = Big * Rational(3);
+  EXPECT_TRUE(P.isOverflow());
+  EXPECT_FALSE(P.isZero());
+  EXPECT_EQ(P.str(), "overflow");
+
+  // Addition of same-sign huge values.
+  EXPECT_TRUE((Big + Big + Big).isOverflow());
+
+  // Negating INT64_MIN has no 64-bit representation.
+  EXPECT_TRUE((-Rational(INT64_MIN)).isOverflow());
+
+  // Huge denominators that cannot cancel poison too.
+  Rational Tiny(1, INT64_MAX);
+  EXPECT_TRUE((Tiny * Tiny).isOverflow());
+}
+
+TEST(Rational, OverflowPoisonIsSticky) {
+  Rational P = Rational::overflow();
+  EXPECT_TRUE((P + Rational(1)).isOverflow());
+  EXPECT_TRUE((Rational(1) + P).isOverflow());
+  EXPECT_TRUE((P - P).isOverflow());
+  EXPECT_TRUE((P * Rational(0)).isOverflow());
+  EXPECT_TRUE((Rational(1) / P).isOverflow());
+  EXPECT_TRUE((-P).isOverflow());
+  Rational Acc(5);
+  Acc += P;
+  EXPECT_TRUE(Acc.isOverflow());
+}
+
+TEST(Rational, OverflowDoesNotFireInRange) {
+  // Values at the edge of the range are still exact.
+  Rational Max(INT64_MAX);
+  EXPECT_EQ(Max + Rational(0), Max);
+  EXPECT_EQ((Max / Max), Rational(1));
+  EXPECT_FALSE((Max - Rational(1)).isOverflow());
+  Rational Min(INT64_MIN);
+  EXPECT_FALSE((Min + Rational(1)).isOverflow());
+  EXPECT_EQ(Min * Rational(1), Min);
+}
+
+TEST(Rational, DivideAssign) {
+  Rational R(3, 2);
+  R /= Rational(3);
+  EXPECT_EQ(R, Rational(1, 2));
+  R /= Rational(1, 4);
+  EXPECT_EQ(R, Rational(2));
+}

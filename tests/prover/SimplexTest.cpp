@@ -149,4 +149,36 @@ TEST(Simplex, DenseSystem) {
   EXPECT_EQ(Acc, Rational(45));
 }
 
+TEST(Simplex, OverflowPoisonsToUnknown) {
+  // Assignment[Y] = 10^6 * X; pushing X near INT64_MAX/4 makes the
+  // rippled update overflow 64 bits. The poisoned solver must answer
+  // Unknown (in every build mode), never a truncated Sat/Unsat.
+  Simplex S;
+  int X = S.newVar();
+  int Y = S.defineVar({{X, Rational(1000000)}});
+  (void)Y;
+  EXPECT_TRUE(S.assertLower(X, Rational(INT64_MAX / 4)));
+  EXPECT_EQ(S.check(), LinResult::Unknown);
+}
+
+TEST(Simplex, OverflowPoisonsProbes) {
+  Simplex S;
+  int X = S.newVar();
+  EXPECT_TRUE(S.assertLower(X, Rational(INT64_MAX / 4)));
+  LinearExpr Huge;
+  Huge[X] = Rational(1000000);
+  EXPECT_EQ(S.probeUpper(Huge, Rational(0)), LinResult::Unknown);
+  EXPECT_EQ(S.probeLower(Huge, Rational(0)), LinResult::Unknown);
+}
+
+TEST(Simplex, InRangeArithmeticStaysDecided) {
+  // Large but representable coefficients still give exact answers.
+  Simplex S;
+  int X = S.newVar();
+  int Y = S.defineVar({{X, Rational(1000000)}});
+  EXPECT_TRUE(S.assertLower(X, Rational(1000000)));
+  EXPECT_TRUE(S.assertUpper(Y, Rational(999999999999)));
+  EXPECT_EQ(S.check(), LinResult::Unsat);
+}
+
 } // namespace

@@ -8,9 +8,12 @@
 #   tsan       ThreadSanitizer build + the concurrency-sensitive tests
 #              (parallel abstraction, prover, thread pool/support)
 #   asan       AddressSanitizer build + full ctest suite
+#   release    Release (-DNDEBUG) build + the suites whose soundness
+#              checks must not live in assert() (rational overflow,
+#              Simplex, BDD engine incl. the deep-chain regression)
 #   all        every job above, in order
 #
-# Usage: tools/ci.sh [default|tsan|asan|all]
+# Usage: tools/ci.sh [default|tsan|asan|release|all]
 #
 #===----------------------------------------------------------------------===#
 
@@ -44,11 +47,25 @@ run_asan() {
   ctest --test-dir "$ROOT/build-asan" --output-on-failure -j
 }
 
+run_release() {
+  echo "=== ci: Release (-DNDEBUG) build + assert-sensitive tests ==="
+  cmake -B "$ROOT/build-release" -S "$ROOT" -DSLAM_SANITIZE= \
+    -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$ROOT/build-release" -j
+  # Kept narrow (this runs in a 1-CPU container): the suites guarding
+  # behavior that once hid behind assertions — Rational overflow
+  # poisoning, Simplex Unknown propagation, and the BDD engine with its
+  # differential and deep-chain regressions.
+  ctest --test-dir "$ROOT/build-release" --output-on-failure \
+    -R 'Rational|Simplex|Bdd|DifferentialBdd|DeepBdd'
+}
+
 case "$JOB" in
   default) run_default ;;
   tsan)    run_tsan ;;
   asan)    run_asan ;;
-  all)     run_default; run_tsan; run_asan ;;
-  *) echo "ci.sh: unknown job '$JOB' (default|tsan|asan|all)" >&2; exit 2 ;;
+  release) run_release ;;
+  all)     run_default; run_tsan; run_asan; run_release ;;
+  *) echo "ci.sh: unknown job '$JOB' (default|tsan|asan|release|all)" >&2; exit 2 ;;
 esac
 echo "=== ci: $JOB passed ==="
