@@ -10,6 +10,7 @@
 #include "bebop/Bebop.h"
 #include "c2bp/C2bp.h"
 #include "cfront/Normalize.h"
+#include "support/Json.h"
 #include "support/Timer.h"
 #include "workloads/Workloads.h"
 
@@ -70,6 +71,52 @@ inline RunRow runTable2(const workloads::Workload &W,
   Row.Ok = BP != nullptr;
   return Row;
 }
+
+/// Machine-readable snapshot shared by the benchmark mains' `--json`
+/// modes, built on json::Writer so escaping and comma placement cannot
+/// drift from the rest of the toolkit:
+///
+///   {"bench": "<tool>", "runs": [{"name": ..., "metrics": {...}}]}
+///
+/// Every measurement (time, node counts, counters) goes under
+/// "metrics" so consumers can treat runs uniformly.
+class JsonReport {
+public:
+  explicit JsonReport(std::string_view Bench) : W(Doc) {
+    W.beginObject();
+    W.kv("bench", Bench);
+    W.key("runs");
+    W.beginArray();
+  }
+
+  void beginRun(std::string_view Name) {
+    W.beginObject();
+    W.kv("name", Name);
+    W.key("metrics");
+    W.beginObject();
+  }
+
+  template <typename T> void metric(std::string_view Key, T Value) {
+    W.kv(Key, Value);
+  }
+
+  void endRun() {
+    W.endObject(); // metrics
+    W.endObject(); // run
+  }
+
+  /// Finishes the document; call once.
+  std::string str() {
+    W.endArray();
+    W.endObject();
+    Doc += '\n';
+    return Doc;
+  }
+
+private:
+  std::string Doc;
+  json::Writer W;
+};
 
 inline void printRowHeader(const char *Title) {
   std::printf("\n%s\n", Title);

@@ -18,9 +18,9 @@
 //      count, so the exists(and(...)) in Bebop's post-image dominates.
 //
 // `--json` prints the same measurements as a machine-readable snapshot
-// (a google-benchmark-style {"context", "benchmarks": [...]} object,
-// matching how bench_parallel_c2bp is consumed via
-// --benchmark_format=json) and skips the registered benchmarks.
+// ({"bench": "bench_bebop", "runs": [{"name", "metrics": {...}}]},
+// the benchutil::JsonReport schema) and skips the registered
+// benchmarks.
 //
 //===----------------------------------------------------------------------===//
 
@@ -150,14 +150,6 @@ BENCHMARK(BM_BebopMirror)
     ->Arg(24)
     ->Unit(benchmark::kMillisecond);
 
-void jsonEscapeAppend(std::string &Out, const std::string &S) {
-  for (char C : S) {
-    if (C == '"' || C == '\\')
-      Out += '\\';
-    Out += C;
-  }
-}
-
 } // namespace
 
 int main(int argc, char **argv) {
@@ -172,30 +164,20 @@ int main(int argc, char **argv) {
   }
   argc = Out;
 
-  std::string J = "{\n  \"context\": {\"tool\": \"bench_bebop\", "
-                  "\"mode\": \"snapshot\"},\n  \"benchmarks\": [";
-  bool FirstRow = true;
+  benchutil::JsonReport Report("bench_bebop");
   auto emit = [&](const std::string &Name, double Seconds, size_t BddNodes,
                   bool Violated, const std::map<std::string, uint64_t> &Stats) {
-    if (!FirstRow)
-      J += ',';
-    FirstRow = false;
-    J += "\n    {\"name\": \"";
-    jsonEscapeAppend(J, Name);
-    char Buf[64];
-    std::snprintf(Buf, sizeof(Buf), "%.6f", Seconds);
-    J += std::string("\", \"seconds\": ") + Buf;
-    J += ", \"bdd_nodes\": " + std::to_string(BddNodes);
-    J += std::string(", \"violated\": ") + (Violated ? "true" : "false");
+    Report.beginRun(Name);
+    Report.metric("seconds", Seconds);
+    Report.metric("bdd_nodes", static_cast<uint64_t>(BddNodes));
+    Report.metric("violated", Violated);
     for (const auto &[Key, Value] : Stats) {
       // Only the BDD-engine counters; step counts are noise here.
       if (Key.rfind("bebop.bdd", 0) != 0)
         continue;
-      J += ", \"";
-      jsonEscapeAppend(J, Key);
-      J += "\": " + std::to_string(Value);
+      Report.metric(Key, Value);
     }
-    J += "}";
+    Report.endRun();
   };
 
   if (!Json)
@@ -249,8 +231,7 @@ int main(int argc, char **argv) {
   }
 
   if (Json) {
-    J += "\n  ]\n}\n";
-    std::printf("%s", J.c_str());
+    std::printf("%s", Report.str().c_str());
     return 0;
   }
 

@@ -1,0 +1,21 @@
+/* A driver-style dispatch routine following the IRP completion
+   discipline: every request is either completed or marked pending,
+   never both, with the choice correlated through the status value
+   (refinement must discover `status == 0` to validate). */
+void CompleteRequest() { }
+void MarkPending() { }
+int nondet();
+
+void dispatch(int status) {
+  if (status == 0) {
+    CompleteRequest();
+  } else {
+    MarkPending();
+  }
+}
+
+void main() {
+  int status;
+  status = nondet();
+  dispatch(status);
+}

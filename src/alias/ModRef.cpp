@@ -6,6 +6,8 @@
 
 #include "alias/ModRef.h"
 
+#include "support/Trace.h"
+
 using namespace slam;
 using namespace slam::alias;
 using namespace slam::cfront;
@@ -24,6 +26,7 @@ void ModRef::collectDirect(const FuncDecl *F, const Stmt &S,
 }
 
 ModRef::ModRef(const Program &P, const PointsTo &PT) : PT(PT) {
+  TraceSpan Span("alias.modref", "alias");
   // Direct modifications per function; externs may write anything
   // reachable from their pointer parameters.
   for (const FuncDecl *F : P.Functions) {

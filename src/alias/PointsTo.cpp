@@ -6,6 +6,8 @@
 
 #include "alias/PointsTo.h"
 
+#include "support/Trace.h"
+
 using namespace slam;
 using namespace slam::alias;
 using namespace slam::cfront;
@@ -432,6 +434,7 @@ void Builder::genCall(const Stmt &S) {
 } // namespace
 
 PointsTo::PointsTo(const Program &P, Mode M) : M(M) {
+  TraceSpan Span("alias.points_to", "alias");
   // Pre-create field cells for every record so oracle queries about
   // fields the program never touches still resolve.
   for (const RecordDecl *Rec : P.Types.allRecords())

@@ -16,6 +16,8 @@
 
 #include "bdd/Bdd.h"
 
+#include "support/Timer.h"
+
 #include <algorithm>
 #include <cassert>
 #include <climits>
@@ -559,7 +561,10 @@ Node BddManager::andExists(Node F, Node G, const std::vector<int> &Vars) {
   std::vector<int> Sorted(Vars);
   std::sort(Sorted.begin(), Sorted.end());
   Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
-  return andExistsRec(F, G, internCube(Sorted));
+  Timer T;
+  Node R = andExistsRec(F, G, internCube(Sorted));
+  AndExistsHist.observe(static_cast<uint64_t>(T.seconds() * 1e6));
+  return R;
 }
 
 //===----------------------------------------------------------------------===//
@@ -807,19 +812,23 @@ size_t BddManager::nodeCount(Node F) const {
 
 void BddManager::reportStats(StatsRegistry &Stats,
                              const std::string &Prefix) const {
-  Stats.set(Prefix + "nodes", Nodes.size());
+  // Node counts and capacities are peaks (gauges): merging registries
+  // must take the max, not the sum — summed per-worker peaks would
+  // report a node count no single manager ever held.
+  Stats.setMax(Prefix + "nodes", Nodes.size());
   Stats.set(Prefix + "unique.hits", UniqueHits);
-  Stats.set(Prefix + "unique.capacity", UniqueTable.size());
+  Stats.setMax(Prefix + "unique.capacity", UniqueTable.size());
   auto Rep2 = [&](const char *Name, const Cache2 &C) {
     Stats.set(Prefix + Name + ".lookups", C.Lookups);
     Stats.set(Prefix + Name + ".hits", C.Hits);
-    Stats.set(Prefix + Name + ".capacity", C.E.size());
+    Stats.setMax(Prefix + Name + ".capacity", C.E.size());
   };
   auto Rep3 = [&](const char *Name, const Cache3 &C) {
     Stats.set(Prefix + Name + ".lookups", C.Lookups);
     Stats.set(Prefix + Name + ".hits", C.Hits);
-    Stats.set(Prefix + Name + ".capacity", C.E.size());
+    Stats.setMax(Prefix + Name + ".capacity", C.E.size());
   };
+  Stats.observeHistogram(Prefix + "andexists.us", AndExistsHist);
   Rep3("ite", IteCache);
   Rep2("and", AndCache);
   Rep2("or", OrCache);

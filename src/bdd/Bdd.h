@@ -30,6 +30,7 @@
 #ifndef BDD_BDD_H
 #define BDD_BDD_H
 
+#include "support/Histogram.h"
 #include "support/Stats.h"
 
 #include <cstdint>
@@ -202,6 +203,10 @@ private:
   Cache3 AndExistsCache; // (F, G, cube id).
   Cache2 RestrictCache;  // (F, 2*Var + Value).
   Cache2 RenameCache;    // (F, rename id).
+
+  /// Latency of each top-level andExists call (the hot operator of
+  /// Bebop's post-image); exported by reportStats.
+  LatencyHistogram AndExistsHist;
 
   // Interned quantification cubes and rename maps.
   std::map<std::vector<int>, int> CubeIds;

@@ -23,6 +23,8 @@
 
 #include "bebop/Bebop.h"
 
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <deque>
@@ -90,6 +92,7 @@ struct Bebop::Impl {
 
   explicit Impl(const BProgram &P, StatsRegistry *Stats)
       : Prog(P), Stats(Stats) {
+    TraceSpan Span("bebop.build", "bebop");
     build();
   }
 
@@ -793,6 +796,7 @@ Bebop::~Bebop() = default;
 
 CheckResult Bebop::run(const std::string &EntryProc,
                        bool StopAtFirstViolation) {
+  TraceSpan Span("bebop.run", "bebop");
   M->run(EntryProc, StopAtFirstViolation);
   CheckResult R;
   R.AssertViolated = M->Failed;
@@ -802,8 +806,15 @@ CheckResult Bebop::run(const std::string &EntryProc,
     R.Trace = M->buildTrace();
   }
   if (M->Stats) {
-    M->Stats->set("bebop.bdd_nodes", M->M.numNodes());
+    // Peak node count is a gauge: across CEGAR iterations (and merged
+    // registries) the maximum, not the sum or the last value, is the
+    // quantity the paper's tables report.
+    M->Stats->setMax("bebop.bdd_nodes", M->M.numNodes());
     M->M.reportStats(*M->Stats, "bebop.bdd.");
+  }
+  if (Span.enabled()) {
+    Span.arg("violated", R.AssertViolated ? "yes" : "no");
+    Span.arg("bdd_nodes", static_cast<uint64_t>(M->M.numNodes()));
   }
   return R;
 }

@@ -38,6 +38,7 @@
 #include "logic/WP.h"
 #include "prover/ProverCache.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -191,6 +192,9 @@ struct C2bpTool::Impl {
   /// Runs \p Fn now (sequential mode) or queues it for the pool.
   void defer(std::function<void(CubeSearch &, bp::BProgram &)> Fn) {
     if (!Parallel) {
+      TraceSpan Span("c2bp.cube_search", "c2bp");
+      if (Span.enabled())
+        Span.arg("proc", CurScope->F->Name);
       Fn(*CurScope->Cubes, *BP);
       return;
     }
@@ -594,12 +598,18 @@ struct C2bpTool::Impl {
   }
 
   void runPending() {
+    TraceSpan Span("c2bp.execute", "c2bp");
+    if (Span.enabled())
+      Span.arg("tasks", static_cast<uint64_t>(Pending.size()));
     ThreadPool Pool(static_cast<unsigned>(Options.NumWorkers));
     for (DeferredTask &T : Pending) {
       Pool.submit([this, &T] {
         int W = ThreadPool::currentWorkerId();
         assert(W >= 0 && static_cast<size_t>(W) < Workers.size());
         Worker &WK = *Workers[W];
+        TraceSpan TaskSpan("c2bp.cube_search", "c2bp");
+        if (TaskSpan.enabled())
+          TaskSpan.arg("proc", T.FS->F->Name);
         // A fresh cube search per task: its F/G result cache is
         // task-local, which keeps every task a pure function of its
         // inputs — repeated sub-queries are absorbed by the shared
@@ -622,6 +632,11 @@ struct C2bpTool::Impl {
   }
 
   std::unique_ptr<bp::BProgram> run() {
+    TraceSpan Span("c2bp.run", "c2bp");
+    if (Span.enabled()) {
+      Span.arg("predicates", static_cast<uint64_t>(Preds.totalCount()));
+      Span.arg("workers", Options.NumWorkers);
+    }
     Parallel = Options.NumWorkers > 1;
     if (Parallel) {
       if (Options.UseSharedProverCache)
@@ -632,11 +647,16 @@ struct C2bpTool::Impl {
     }
 
     BP = std::make_unique<bp::BProgram>();
-    for (ExprRef E : Preds.Globals)
-      BP->Globals.push_back(predName(E));
-    for (const FuncDecl *F : P.Functions)
-      if (F->Body)
-        abstractFunction(*F);
+    {
+      // Sequential mode folds the cube searches into the plan walk, so
+      // this phase span covers both planning and (inline) execution.
+      TraceSpan PlanSpan("c2bp.plan", "c2bp");
+      for (ExprRef E : Preds.Globals)
+        BP->Globals.push_back(predName(E));
+      for (const FuncDecl *F : P.Functions)
+        if (F->Body)
+          abstractFunction(*F);
+    }
     if (Parallel)
       runPending();
     if (Stats) {

@@ -8,6 +8,7 @@
 
 #include "cfront/Parser.h"
 #include "cfront/Sema.h"
+#include "support/Trace.h"
 
 using namespace slam;
 using namespace slam::cfront;
@@ -492,11 +493,19 @@ bool cfront::normalize(Program &P, DiagnosticEngine &Diags) {
 
 std::unique_ptr<Program> cfront::frontend(std::string_view Source,
                                           DiagnosticEngine &Diags) {
-  std::unique_ptr<Program> P = parseProgram(Source, Diags);
+  std::unique_ptr<Program> P;
+  {
+    TraceSpan Span("cfront.parse", "cfront");
+    P = parseProgram(Source, Diags);
+  }
   if (!P)
     return nullptr;
-  if (!analyze(*P, Diags))
-    return nullptr;
+  {
+    TraceSpan Span("cfront.analyze", "cfront");
+    if (!analyze(*P, Diags))
+      return nullptr;
+  }
+  TraceSpan Span("cfront.normalize", "cfront");
   if (!normalize(*P, Diags))
     return nullptr;
   // Re-run Sema: types the synthesized nodes and renumbers statements.

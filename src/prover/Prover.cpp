@@ -8,7 +8,10 @@
 
 #include "prover/Sat.h"
 #include "prover/Theory.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
 
+#include <cstdio>
 #include <map>
 
 using namespace slam;
@@ -180,6 +183,37 @@ Satisfiability Prover::checkSatUncached(ExprRef Phi) {
   return Satisfiability::Unknown;
 }
 
+Satisfiability Prover::timedCheck(ExprRef Phi) {
+  TraceSpan Span("prover.query", "prover");
+  Timer T;
+  Satisfiability Result = checkSatUncached(Phi);
+  double Millis = T.millis();
+  uint64_t Micros = static_cast<uint64_t>(Millis * 1000.0);
+  if (Stats)
+    Stats->observe("prover.query_us", Micros);
+  if (Span.enabled()) {
+    Span.arg("result", Result == Satisfiability::Sat     ? "sat"
+                       : Result == Satisfiability::Unsat ? "unsat"
+                                                         : "unknown");
+  }
+  double SlowMs = trace::slowQueryMillis();
+  if (SlowMs >= 0 && Millis >= SlowMs) {
+    if (Stats)
+      Stats->add("prover.slow_queries");
+    // Print the implication being decided when we know it (the cube
+    // searches drive everything through implies); fall back to the raw
+    // satisfiability query.
+    if (CurAntecedent && CurConsequent)
+      std::fprintf(stderr, "prover: slow query (%.2f ms): %s => %s\n",
+                   Millis, CurAntecedent->str().c_str(),
+                   CurConsequent->str().c_str());
+    else
+      std::fprintf(stderr, "prover: slow query (%.2f ms): sat? %s\n",
+                   Millis, Phi->str().c_str());
+  }
+  return Result;
+}
+
 Satisfiability Prover::checkSat(ExprRef Phi) {
   assert(Phi->isFormula() && "checkSat takes a formula");
   if (Phi->isTrue())
@@ -191,7 +225,7 @@ Satisfiability Prover::checkSat(ExprRef Phi) {
     ++NumCalls;
     if (Stats)
       Stats->add("prover.calls");
-    return checkSatUncached(Phi);
+    return timedCheck(Phi);
   }
 
   // Shared (cross-worker) cache path: the shared cache subsumes the
@@ -222,7 +256,7 @@ Satisfiability Prover::checkSat(ExprRef Phi) {
     ++NumCalls;
     if (Stats)
       Stats->add("prover.calls");
-    Satisfiability Result = checkSatUncached(Phi);
+    Satisfiability Result = timedCheck(Phi);
     Shared->publish(Phi, Result);
     return Result;
   }
@@ -256,21 +290,27 @@ Satisfiability Prover::checkSat(ExprRef Phi) {
   ++NumCalls;
   if (Stats)
     Stats->add("prover.calls");
-  Satisfiability Result = checkSatUncached(Phi);
+  Satisfiability Result = timedCheck(Phi);
   CacheEntry &E = Cache[Base];
   (Positive ? E.Pos : E.Neg) = Result;
   return Result;
 }
 
 Validity Prover::implies(ExprRef Antecedent, ExprRef Consequent) {
+  CurAntecedent = Antecedent;
+  CurConsequent = Consequent;
   ExprRef Query = Ctx.andE(Antecedent, Ctx.notE(Consequent));
-  switch (checkSat(Query)) {
-  case Satisfiability::Unsat:
-    return Validity::Valid;
-  case Satisfiability::Sat:
-    return Validity::Invalid;
-  case Satisfiability::Unknown:
+  Validity V = [&] {
+    switch (checkSat(Query)) {
+    case Satisfiability::Unsat:
+      return Validity::Valid;
+    case Satisfiability::Sat:
+      return Validity::Invalid;
+    case Satisfiability::Unknown:
+      return Validity::Unknown;
+    }
     return Validity::Unknown;
-  }
-  return Validity::Unknown;
+  }();
+  CurAntecedent = CurConsequent = nullptr;
+  return V;
 }

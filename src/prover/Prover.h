@@ -82,6 +82,11 @@ public:
 private:
   Satisfiability checkSatUncached(logic::ExprRef Phi);
 
+  /// checkSatUncached plus observability: a "prover.query" trace span,
+  /// a sample in the prover.query_us latency histogram, and the
+  /// slow-query log (trace::slowQueryMillis).
+  Satisfiability timedCheck(logic::ExprRef Phi);
+
   /// Private per-prover entry: one result slot per polarity of the
   /// negation-stripped base formula.
   struct CacheEntry {
@@ -91,6 +96,12 @@ private:
   logic::LogicContext &Ctx;
   StatsRegistry *Stats;
   SharedProverCache *Shared;
+  /// Antecedent/consequent of the implication currently being decided
+  /// (set by implies() so the slow-query log can print the implication
+  /// rather than its desugared satisfiability query). The Prover is
+  /// single-threaded, so plain members suffice.
+  logic::ExprRef CurAntecedent = nullptr;
+  logic::ExprRef CurConsequent = nullptr;
   std::unordered_map<logic::ExprRef, CacheEntry> Cache;
   uint64_t NumCalls = 0;
   uint64_t NumCacheHits = 0;

@@ -10,6 +10,8 @@
 #include "cfront/Parser.h"
 #include "cfront/Sema.h"
 #include "slam/Newton.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
 
 using namespace slam;
 using namespace slam::slamtool;
@@ -22,28 +24,65 @@ SlamResult slamtool::checkProgram(const Program &P,
                                   StatsRegistry *Stats) {
   SlamResult Result;
   Result.Predicates = InitialPreds;
-  prover::Prover NewtonProver(Ctx, Stats);
+  // The flight recorder reads per-iteration counter deltas, so run over
+  // a local registry when the caller did not supply one.
+  StatsRegistry LocalStats;
+  StatsRegistry *S = Stats ? Stats : &LocalStats;
+  prover::Prover NewtonProver(Ctx, S);
+
+  auto CacheHits = [&] {
+    return S->get("prover.cache_hits") + S->get("prover.shared_cache_hits") +
+           S->get("prover.neg_cache_hits");
+  };
 
   for (int Iter = 0; Iter != Options.MaxIterations; ++Iter) {
     Result.Iterations = Iter + 1;
-    if (Stats)
-      Stats->add("slam.iterations");
+    S->add("slam.iterations");
+
+    TraceSpan IterSpan("slam.iteration", "slam");
+    if (IterSpan.enabled())
+      IterSpan.arg("iter", Iter + 1);
+
+    IterationRecord Rec;
+    Rec.Iteration = Iter + 1;
+    Rec.Predicates = Result.Predicates.totalCount();
+    uint64_t Calls0 = S->get("prover.calls");
+    uint64_t Hits0 = CacheHits();
+    uint64_t Cubes0 = S->get("c2bp.cubes_checked");
 
     // Phase 1: abstraction.
-    c2bp::C2bpTool Tool(P, Result.Predicates, Ctx, Options.C2bp, Stats);
+    Timer C2bpTime;
+    c2bp::C2bpTool Tool(P, Result.Predicates, Ctx, Options.C2bp, S);
     std::unique_ptr<bp::BProgram> BP = Tool.run();
+    Rec.C2bpSeconds = C2bpTime.seconds();
 
     // Phase 2: model checking.
-    bebop::Bebop Checker(*BP, Stats);
+    Timer BebopTime;
+    bebop::Bebop Checker(*BP, S);
     bebop::CheckResult Check = Checker.run(Options.EntryProc);
+    Rec.BebopSeconds = BebopTime.seconds();
+    Rec.BddNodes = Checker.bddNodes();
+
+    auto FinishRecord = [&] {
+      Rec.ProverCalls = S->get("prover.calls") - Calls0;
+      Rec.CacheHits = CacheHits() - Hits0;
+      Rec.Cubes = S->get("c2bp.cubes_checked") - Cubes0;
+      Result.FlightLog.push_back(Rec);
+    };
+
     if (!Check.AssertViolated) {
       Result.V = SlamResult::Verdict::Validated;
+      FinishRecord();
       return Result;
     }
 
     // Phase 3: predicate discovery on the abstract counterexample.
+    Timer NewtonTime;
     NewtonResult NR = analyzeTrace(P, Check.Trace, Ctx, NewtonProver,
-                                   Result.Predicates, Stats);
+                                   Result.Predicates, S);
+    Rec.NewtonSeconds = NewtonTime.seconds();
+    Rec.NewPredicates = NR.NewPreds.totalCount();
+    FinishRecord();
     if (NR.Feasible) {
       Result.V = SlamResult::Verdict::BugFound;
       Result.Trace = std::move(Check.Trace);
@@ -68,20 +107,33 @@ std::optional<SlamResult> slamtool::checkSafety(
     std::string_view Source, const SafetySpec &Spec,
     logic::LogicContext &Ctx, DiagnosticEngine &Diags,
     const SlamOptions &Options, StatsRegistry *Stats) {
-  std::unique_ptr<Program> P = parseProgram(Source, Diags);
+  std::unique_ptr<Program> P;
+  {
+    TraceSpan Span("cfront.parse", "cfront");
+    P = parseProgram(Source, Diags);
+  }
   if (!P)
     return std::nullopt;
-  if (!analyze(*P, Diags))
-    return std::nullopt;
-  if (!instrument(*P, Spec, Options.EntryProc, Diags))
-    return std::nullopt;
-  if (!normalize(*P, Diags))
-    return std::nullopt;
-  DiagnosticEngine Rerun;
-  if (!analyze(*P, Rerun)) {
-    for (const Diagnostic &D : Rerun.diagnostics())
-      Diags.error(D.Loc, "internal (instrumentation): " + D.Message);
-    return std::nullopt;
+  {
+    TraceSpan Span("cfront.analyze", "cfront");
+    if (!analyze(*P, Diags))
+      return std::nullopt;
+  }
+  {
+    TraceSpan Span("cfront.instrument", "cfront");
+    if (!instrument(*P, Spec, Options.EntryProc, Diags))
+      return std::nullopt;
+  }
+  {
+    TraceSpan Span("cfront.normalize", "cfront");
+    if (!normalize(*P, Diags))
+      return std::nullopt;
+    DiagnosticEngine Rerun;
+    if (!analyze(*P, Rerun)) {
+      for (const Diagnostic &D : Rerun.diagnostics())
+        Diags.error(D.Loc, "internal (instrumentation): " + D.Message);
+      return std::nullopt;
+    }
   }
 
   c2bp::PredicateSet Seeds;

@@ -34,6 +34,23 @@ struct SlamOptions {
   std::string EntryProc = "main";
 };
 
+/// One row of the CEGAR flight recorder: what a single
+/// abstract-check-refine iteration cost and what it produced. Counter
+/// fields are per-iteration deltas of the run's StatsRegistry; the BDD
+/// node count is the checker's live total after the Bebop phase.
+struct IterationRecord {
+  int Iteration = 0;        ///< 1-based iteration number.
+  size_t Predicates = 0;    ///< Predicates entering the iteration.
+  uint64_t ProverCalls = 0; ///< Uncached prover decisions this iteration.
+  uint64_t CacheHits = 0;   ///< Prover cache hits (private+shared+negation).
+  uint64_t Cubes = 0;       ///< Cubes enumerated by the C2bp searches.
+  uint64_t BddNodes = 0;    ///< BDD nodes live after model checking.
+  double C2bpSeconds = 0;
+  double BebopSeconds = 0;
+  double NewtonSeconds = 0;
+  size_t NewPredicates = 0; ///< Predicates Newton added (0 on the last round).
+};
+
 struct SlamResult {
   enum class Verdict {
     Validated, ///< No assert can fail: the property holds.
@@ -47,6 +64,8 @@ struct SlamResult {
   std::vector<bebop::TraceStep> Trace;
   /// Final predicate set (for reporting).
   c2bp::PredicateSet Predicates;
+  /// Per-iteration flight recorder, one record per CEGAR round.
+  std::vector<IterationRecord> FlightLog;
 };
 
 /// Runs the SLAM loop on a parsed+analyzed+normalized program with the

@@ -9,6 +9,7 @@
 #include "c2bp/CExprToLogic.h"
 #include "logic/ExprUtils.h"
 #include "logic/WP.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <map>
@@ -393,6 +394,9 @@ NewtonResult slamtool::analyzeTrace(const Program &P,
                                     prover::Prover &Prover,
                                     const c2bp::PredicateSet &Existing,
                                     StatsRegistry *Stats) {
+  TraceSpan Span("newton.analyze_trace", "newton");
+  if (Span.enabled())
+    Span.arg("steps", static_cast<uint64_t>(Trace.size()));
   NewtonResult Result;
   SymExec Exec(P, Ctx);
   if (!Exec.replay(Trace))

@@ -1,0 +1,98 @@
+//===- CliArgs.h - Strict flag-value parsing for the tool mains -*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One flag-parsing helper shared by the slam/c2bp/bebop mains. The
+/// mains used to funnel numeric flags through atoi, which silently
+/// turns `--max-iters banana` into 0; these helpers accept exactly the
+/// decimal integers (or finite decimals, for millisecond thresholds)
+/// and report everything else as a usage error naming the flag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_CLIARGS_H
+#define SUPPORT_CLIARGS_H
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace slam {
+namespace cli {
+
+/// Strict decimal integer: optional sign, then digits, nothing else.
+inline bool parseInt(const char *Text, long long &Out) {
+  if (!Text || !*Text)
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  long long V = std::strtoll(Text, &End, 10);
+  if (errno == ERANGE || End == Text || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Strict finite decimal number (for millisecond thresholds).
+inline bool parseDouble(const char *Text, double &Out) {
+  if (!Text || !*Text)
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  double V = std::strtod(Text, &End);
+  if (errno == ERANGE || End == Text || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Parses \p Text as the integer value of \p Flag with an inclusive
+/// minimum; on failure prints "<tool>: invalid value ... " to stderr
+/// and returns false (the main should exit 2).
+inline bool intArg(const char *Tool, const char *Flag, const char *Text,
+                   long long Min, long long &Out) {
+  if (!parseInt(Text, Out)) {
+    std::fprintf(stderr, "%s: invalid value '%s' for %s (expected an integer)\n",
+                 Tool, Text ? Text : "", Flag);
+    return false;
+  }
+  if (Out < Min) {
+    std::fprintf(stderr, "%s: value %lld for %s is below the minimum %lld\n",
+                 Tool, Out, Flag, Min);
+    return false;
+  }
+  return true;
+}
+
+/// Parses \p Text as the non-negative millisecond value of \p Flag.
+inline bool msArg(const char *Tool, const char *Flag, const char *Text,
+                  double &Out) {
+  if (!parseDouble(Text, Out) || Out < 0) {
+    std::fprintf(
+        stderr,
+        "%s: invalid value '%s' for %s (expected milliseconds >= 0)\n",
+        Tool, Text ? Text : "", Flag);
+    return false;
+  }
+  return true;
+}
+
+/// Worker-count flag (-j): 0 means "one per hardware thread", which the
+/// caller maps through ThreadPool::defaultConcurrency().
+inline bool workersArg(const char *Tool, const char *Text, int &Out) {
+  long long V;
+  if (!intArg(Tool, "-j", Text, 0, V))
+    return false;
+  Out = static_cast<int>(V);
+  return true;
+}
+
+} // namespace cli
+} // namespace slam
+
+#endif // SUPPORT_CLIARGS_H

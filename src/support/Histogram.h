@@ -1,0 +1,86 @@
+//===- Histogram.h - Fixed log-scale latency histograms ---------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-bucket, log-scale latency histogram for the quantities whose
+/// *distribution* matters (theorem-prover query times, BDD andExists
+/// times), not just their count. Buckets are powers of two of
+/// microseconds, so the layout is identical in every process and
+/// cross-registry merging is plain element-wise addition — per-worker
+/// histograms fold into the main registry exactly like the per-worker
+/// counters do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_HISTOGRAM_H
+#define SUPPORT_HISTOGRAM_H
+
+#include <algorithm>
+#include <cstdint>
+
+namespace slam {
+
+/// Log2 histogram over microsecond samples.
+///
+/// Bucket 0 holds samples of 0us; bucket i (i >= 1) holds samples in
+/// [2^(i-1), 2^i) us; the last bucket absorbs everything at or above
+/// 2^(NumBuckets-2) us (~17 minutes), so no sample is ever dropped.
+class LatencyHistogram {
+public:
+  static constexpr int NumBuckets = 32;
+
+  /// Bucket index for a sample of \p Micros microseconds.
+  static int bucketFor(uint64_t Micros) {
+    int B = 0;
+    while (Micros != 0 && B < NumBuckets - 1) {
+      Micros >>= 1;
+      ++B;
+    }
+    return B;
+  }
+
+  /// Exclusive upper bound of bucket \p B in microseconds (the last
+  /// bucket is unbounded; its nominal bound is returned).
+  static uint64_t bucketUpperBound(int B) { return uint64_t(1) << B; }
+
+  void observe(uint64_t Micros) {
+    ++Buckets[bucketFor(Micros)];
+    ++Count;
+    Sum += Micros;
+    Max = std::max(Max, Micros);
+  }
+
+  void mergeFrom(const LatencyHistogram &Other) {
+    for (int I = 0; I != NumBuckets; ++I)
+      Buckets[I] += Other.Buckets[I];
+    Count += Other.Count;
+    Sum += Other.Sum;
+    Max = std::max(Max, Other.Max);
+  }
+
+  uint64_t count() const { return Count; }
+  uint64_t sumMicros() const { return Sum; }
+  uint64_t maxMicros() const { return Max; }
+  uint64_t bucket(int B) const { return Buckets[B]; }
+
+  /// Highest non-empty bucket + 1 (for compact rendering); 0 if empty.
+  int numUsedBuckets() const {
+    for (int I = NumBuckets; I != 0; --I)
+      if (Buckets[I - 1] != 0)
+        return I;
+    return 0;
+  }
+
+private:
+  uint64_t Buckets[NumBuckets] = {};
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Max = 0;
+};
+
+} // namespace slam
+
+#endif // SUPPORT_HISTOGRAM_H

@@ -1,0 +1,378 @@
+//===- Json.h - Minimal correct JSON emission -------------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON writer shared by the trace emitter, the statistics
+/// export, and the benchmark harnesses (which used to hand-roll their
+/// JSON and got string escaping subtly wrong). The writer tracks
+/// object/array nesting and comma placement so call sites only state
+/// structure; escaping handles quotes, backslashes, and control
+/// characters (non-ASCII bytes pass through — JSON is UTF-8).
+///
+/// A syntax checker (json::isValid) rides along for tests that want to
+/// assert emitted output actually parses without shelling out to an
+/// external validator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_JSON_H
+#define SUPPORT_JSON_H
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slam {
+namespace json {
+
+/// Escapes the *contents* of a JSON string (no surrounding quotes).
+inline std::string escape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+/// Streaming writer appending to a caller-owned string. Structure is
+/// expressed with begin/end calls; the writer inserts commas and
+/// asserts (in debug builds) that keys and values alternate correctly.
+class Writer {
+public:
+  explicit Writer(std::string &Out) : Out(Out) {}
+
+  void beginObject() {
+    prefix();
+    Out += '{';
+    Stack.push_back(Frame::Object);
+    First = true;
+  }
+  void endObject() {
+    assert(!Stack.empty() && Stack.back() == Frame::Object);
+    Stack.pop_back();
+    Out += '}';
+    First = false;
+  }
+  void beginArray() {
+    prefix();
+    Out += '[';
+    Stack.push_back(Frame::Array);
+    First = true;
+  }
+  void endArray() {
+    assert(!Stack.empty() && Stack.back() == Frame::Array);
+    Stack.pop_back();
+    Out += ']';
+    First = false;
+  }
+
+  void key(std::string_view K) {
+    assert(!Stack.empty() && Stack.back() == Frame::Object &&
+           "key outside an object");
+    assert(!AfterKey && "two keys in a row");
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    Out += escape(K);
+    Out += "\":";
+    AfterKey = true;
+  }
+
+  void value(std::string_view V) {
+    prefix();
+    Out += '"';
+    Out += escape(V);
+    Out += '"';
+  }
+  void value(const char *V) { value(std::string_view(V)); }
+  void value(bool B) {
+    prefix();
+    Out += B ? "true" : "false";
+  }
+  void value(uint64_t V) {
+    prefix();
+    Out += std::to_string(V);
+  }
+  void value(int64_t V) {
+    prefix();
+    Out += std::to_string(V);
+  }
+  void value(int V) { value(static_cast<int64_t>(V)); }
+  void value(unsigned V) { value(static_cast<uint64_t>(V)); }
+  void value(double V) {
+    prefix();
+    if (!std::isfinite(V)) { // JSON has no NaN/Inf literal.
+      Out += "null";
+      return;
+    }
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+    Out += Buf;
+  }
+  void null() {
+    prefix();
+    Out += "null";
+  }
+
+  template <typename T> void kv(std::string_view K, T V) {
+    key(K);
+    value(V);
+  }
+
+  /// True once every begin has been matched by its end.
+  bool complete() const { return Stack.empty(); }
+
+private:
+  enum class Frame { Object, Array };
+
+  /// Comma/position bookkeeping before any value or container opener.
+  void prefix() {
+    if (AfterKey) {
+      AfterKey = false;
+      return; // The key already emitted its separator.
+    }
+    assert((Stack.empty() || Stack.back() == Frame::Array) &&
+           "object member needs a key first");
+    if (!Stack.empty() && !First)
+      Out += ',';
+    First = false;
+  }
+
+  std::string &Out;
+  std::vector<Frame> Stack;
+  bool First = true;
+  bool AfterKey = false;
+};
+
+namespace detail {
+
+/// Recursive-descent syntax check. Depth-capped: our emitted documents
+/// are a handful of levels deep, and the cap keeps adversarial inputs
+/// from overflowing the stack.
+class Checker {
+public:
+  explicit Checker(std::string_view S) : S(S) {}
+
+  bool run() {
+    skipWs();
+    if (!parseValue(0))
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+private:
+  static constexpr int MaxDepth = 256;
+
+  bool parseValue(int Depth) {
+    if (Depth > MaxDepth || Pos >= S.size())
+      return false;
+    switch (S[Pos]) {
+    case '{':
+      return parseObject(Depth);
+    case '[':
+      return parseArray(Depth);
+    case '"':
+      return parseString();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return parseNumber();
+    }
+  }
+
+  bool parseObject(int Depth) {
+    ++Pos; // '{'
+    skipWs();
+    if (peek() == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!parseString())
+        return false;
+      skipWs();
+      if (peek() != ':')
+        return false;
+      ++Pos;
+      skipWs();
+      if (!parseValue(Depth + 1))
+        return false;
+      skipWs();
+      char C = peek();
+      if (C == ',') {
+        ++Pos;
+        continue;
+      }
+      if (C == '}') {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parseArray(int Depth) {
+    ++Pos; // '['
+    skipWs();
+    if (peek() == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!parseValue(Depth + 1))
+        return false;
+      skipWs();
+      char C = peek();
+      if (C == ',') {
+        ++Pos;
+        continue;
+      }
+      if (C == ']') {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parseString() {
+    if (peek() != '"')
+      return false;
+    ++Pos;
+    while (Pos < S.size()) {
+      unsigned char C = static_cast<unsigned char>(S[Pos]);
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C < 0x20)
+        return false; // Unescaped control character.
+      if (C == '\\') {
+        ++Pos;
+        if (Pos >= S.size())
+          return false;
+        char E = S[Pos];
+        if (E == 'u') {
+          for (int I = 0; I != 4; ++I) {
+            ++Pos;
+            if (Pos >= S.size() || !std::isxdigit(
+                                       static_cast<unsigned char>(S[Pos])))
+              return false;
+          }
+        } else if (!std::strchr("\"\\/bfnrt", E)) {
+          return false;
+        }
+      }
+      ++Pos;
+    }
+    return false;
+  }
+
+  bool parseNumber() {
+    size_t Start = Pos;
+    if (peek() == '-')
+      ++Pos;
+    if (!std::isdigit(static_cast<unsigned char>(peek())))
+      return false;
+    if (S[Pos] == '0')
+      ++Pos;
+    else
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    if (peek() == '.') {
+      ++Pos;
+      if (!std::isdigit(static_cast<unsigned char>(peek())))
+        return false;
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++Pos;
+      if (peek() == '+' || peek() == '-')
+        ++Pos;
+      if (!std::isdigit(static_cast<unsigned char>(peek())))
+        return false;
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    return Pos > Start;
+  }
+
+  bool literal(const char *L) {
+    size_t N = std::strlen(L);
+    if (S.substr(Pos, N) != L)
+      return false;
+    Pos += N;
+    return true;
+  }
+
+  void skipWs() {
+    while (Pos < S.size() &&
+           (S[Pos] == ' ' || S[Pos] == '\t' || S[Pos] == '\n' ||
+            S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  char peek() const { return Pos < S.size() ? S[Pos] : '\0'; }
+
+  std::string_view S;
+  size_t Pos = 0;
+};
+
+} // namespace detail
+
+/// Is \p S one syntactically valid JSON document?
+inline bool isValid(std::string_view S) { return detail::Checker(S).run(); }
+
+} // namespace json
+} // namespace slam
+
+#endif // SUPPORT_JSON_H

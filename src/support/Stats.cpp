@@ -1,0 +1,56 @@
+//===- Stats.cpp - Statistics JSON export ------------------------------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include "support/Json.h"
+
+using namespace slam;
+
+std::string slam::statsToJson(const StatsRegistry &Stats) {
+  std::map<std::string, LatencyHistogram> Hists = Stats.allHistograms();
+  std::string Out;
+  json::Writer W(Out);
+  W.beginObject();
+
+  W.key("counters");
+  W.beginObject();
+  for (const auto &[Name, Value] : Stats.allCounters())
+    W.kv(Name, Value);
+  W.endObject();
+
+  W.key("gauges");
+  W.beginObject();
+  for (const auto &[Name, Value] : Stats.allGauges())
+    W.kv(Name, Value);
+  W.endObject();
+
+  W.key("histograms");
+  W.beginObject();
+  for (const auto &[Name, H] : Hists) {
+    W.key(Name);
+    W.beginObject();
+    W.kv("count", H.count());
+    W.kv("sum_us", H.sumMicros());
+    W.kv("max_us", H.maxMicros());
+    W.key("buckets");
+    W.beginArray();
+    int Used = H.numUsedBuckets();
+    for (int B = 0; B != Used; ++B) {
+      W.beginObject();
+      W.kv("le_us", LatencyHistogram::bucketUpperBound(B));
+      W.kv("count", H.bucket(B));
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+  W.endObject();
+
+  W.endObject();
+  Out += '\n';
+  return Out;
+}

@@ -22,6 +22,8 @@
 #ifndef SUPPORT_STATS_H
 #define SUPPORT_STATS_H
 
+#include "support/Histogram.h"
+
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -29,10 +31,22 @@
 
 namespace slam {
 
-/// A registry of named 64-bit counters.
+/// A registry of named 64-bit counters, gauges, and latency histograms.
 ///
 /// Lookup is by name; creating a counter on first use keeps call sites
-/// terse: \c Stats.add("prover.queries").
+/// terse: \c Stats.add("prover.queries"). Three kinds of statistic
+/// differ only in how \c mergeFrom combines them:
+///
+///   * counters (add/set)    — summed across registries;
+///   * gauges   (setMax)     — maximum across registries. Peak values
+///     (BDD node counts) must not be summed when per-worker registries
+///     fold into the main one: the sum of per-worker peaks over-reports
+///     a quantity no single worker ever observed;
+///   * histograms (observe)  — merged bucket-wise (fixed log-scale
+///     buckets, so addition is exact).
+///
+/// A name identifies one kind; using the same name as both a counter
+/// and a gauge is a call-site bug (the gauge value wins in reports).
 class StatsRegistry {
 public:
   void add(const std::string &Name, uint64_t Delta = 1) {
@@ -45,32 +59,101 @@ public:
     Counters[Name] = Value;
   }
 
+  /// Gauge write: keeps the maximum of all values ever set. mergeFrom
+  /// takes the max for gauges instead of summing them.
+  void setMax(const std::string &Name, uint64_t Value) {
+    std::lock_guard<std::mutex> L(M);
+    uint64_t &Slot = Gauges[Name];
+    if (Value > Slot)
+      Slot = Value;
+  }
+
+  /// Records one latency sample (microseconds) into the named
+  /// histogram.
+  void observe(const std::string &Name, uint64_t Micros) {
+    std::lock_guard<std::mutex> L(M);
+    Histograms[Name].observe(Micros);
+  }
+
+  /// Folds a whole externally-accumulated histogram into the named one
+  /// (used by subsystems that keep private histograms on hot paths).
+  void observeHistogram(const std::string &Name,
+                        const LatencyHistogram &H) {
+    std::lock_guard<std::mutex> L(M);
+    Histograms[Name].mergeFrom(H);
+  }
+
   uint64_t get(const std::string &Name) const {
     std::lock_guard<std::mutex> L(M);
     auto It = Counters.find(Name);
-    return It == Counters.end() ? 0 : It->second;
+    if (It != Counters.end())
+      return It->second;
+    auto G = Gauges.find(Name);
+    return G == Gauges.end() ? 0 : G->second;
   }
 
+  /// Counters and gauges, merged and sorted by name.
   std::map<std::string, uint64_t> all() const {
+    std::lock_guard<std::mutex> L(M);
+    std::map<std::string, uint64_t> Out = Counters;
+    for (const auto &[Name, Value] : Gauges)
+      Out[Name] = Value;
+    return Out;
+  }
+
+  std::map<std::string, uint64_t> allCounters() const {
     std::lock_guard<std::mutex> L(M);
     return Counters;
   }
 
-  /// Adds every counter of \p Other into this registry. Used to fold
-  /// per-worker registries into the caller's registry once a parallel
-  /// phase has quiesced; the result is independent of merge order.
+  std::map<std::string, uint64_t> allGauges() const {
+    std::lock_guard<std::mutex> L(M);
+    return Gauges;
+  }
+
+  std::map<std::string, LatencyHistogram> allHistograms() const {
+    std::lock_guard<std::mutex> L(M);
+    return Histograms;
+  }
+
+  LatencyHistogram histogram(const std::string &Name) const {
+    std::lock_guard<std::mutex> L(M);
+    auto It = Histograms.find(Name);
+    return It == Histograms.end() ? LatencyHistogram() : It->second;
+  }
+
+  /// Folds \p Other into this registry: counters add, gauges max,
+  /// histograms merge bucket-wise. Used to fold per-worker registries
+  /// into the caller's registry once a parallel phase has quiesced; the
+  /// result is independent of merge order.
   void mergeFrom(const StatsRegistry &Other) {
-    std::map<std::string, uint64_t> Snapshot = Other.all();
+    std::map<std::string, uint64_t> Snapshot;
+    std::map<std::string, uint64_t> GaugeSnapshot;
+    std::map<std::string, LatencyHistogram> HistSnapshot;
+    {
+      std::lock_guard<std::mutex> L(Other.M);
+      Snapshot = Other.Counters;
+      GaugeSnapshot = Other.Gauges;
+      HistSnapshot = Other.Histograms;
+    }
     std::lock_guard<std::mutex> L(M);
     for (const auto &[Name, Value] : Snapshot)
       Counters[Name] += Value;
+    for (const auto &[Name, Value] : GaugeSnapshot) {
+      uint64_t &Slot = Gauges[Name];
+      if (Value > Slot)
+        Slot = Value;
+    }
+    for (const auto &[Name, H] : HistSnapshot)
+      Histograms[Name].mergeFrom(H);
   }
 
-  /// Renders "name = value" lines sorted by name.
+  /// Renders "name = value" lines sorted by name (counters and gauges;
+  /// histograms are reported only through the JSON export, keeping this
+  /// output stable for golden expectations).
   std::string str() const {
-    std::lock_guard<std::mutex> L(M);
     std::string Out;
-    for (const auto &[Name, Value] : Counters)
+    for (const auto &[Name, Value] : all())
       Out += Name + " = " + std::to_string(Value) + "\n";
     return Out;
   }
@@ -78,12 +161,21 @@ public:
   void clear() {
     std::lock_guard<std::mutex> L(M);
     Counters.clear();
+    Gauges.clear();
+    Histograms.clear();
   }
 
 private:
   mutable std::mutex M;
   std::map<std::string, uint64_t> Counters;
+  std::map<std::string, uint64_t> Gauges;
+  std::map<std::string, LatencyHistogram> Histograms;
 };
+
+/// Serializes a registry as one JSON document:
+/// {"counters": {...}, "gauges": {...}, "histograms": {name:
+///  {"count", "sum_us", "max_us", "buckets": [{"le_us", "count"}...]}}}.
+std::string statsToJson(const StatsRegistry &Stats);
 
 } // namespace slam
 

@@ -1,0 +1,163 @@
+//===- ObservabilityTest.cpp - Tracing + stats across the pipeline --------===//
+//
+// Runs the whole SLAM loop with the trace recorder installed and checks
+// the observability surface end to end: the Chrome trace is valid JSON
+// with spans from every pipeline stage (including worker cube-search
+// spans when -j > 1), the stats export is valid JSON naming the
+// prover/BDD counters, and the flight recorder has one row per CEGAR
+// iteration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slam/Cegar.h"
+#include "support/Json.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace slam;
+using namespace slam::slamtool;
+
+namespace {
+
+// The classic SLAM locking example: validation needs a Newton round to
+// discover the `flag > 0` correlation, so every pipeline stage
+// (including refinement) appears in the trace.
+const char *LockingSource = R"(
+    void AcquireLock() { }
+    void ReleaseLock() { }
+    int nondet();
+    void main() {
+      int flag;
+      int work;
+      flag = nondet();
+      work = 0;
+      if (flag > 0) {
+        AcquireLock();
+      }
+      work = work + 1;
+      if (flag > 0) {
+        ReleaseLock();
+      }
+    }
+  )";
+
+struct PipelineRun {
+  SlamResult Result;
+  std::string TraceDoc;
+  std::string StatsDoc;
+};
+
+/// Runs checkSafety on the locking example with tracing installed.
+PipelineRun runTraced(int Workers) {
+  PipelineRun Run;
+  TraceRecorder Recorder;
+  TraceRecorder::setActive(&Recorder);
+  {
+    logic::LogicContext Ctx;
+    DiagnosticEngine Diags;
+    StatsRegistry Stats;
+    SlamOptions Options;
+    Options.C2bp.NumWorkers = Workers;
+    // The driver's default: bounded cubes make the first abstraction
+    // too coarse, so the loop needs a Newton refinement round (which
+    // the trace assertions below rely on).
+    Options.C2bp.Cubes.MaxCubeLength = 3;
+    auto R = checkSafety(LockingSource,
+                         SafetySpec::lockDiscipline("AcquireLock",
+                                                    "ReleaseLock"),
+                         Ctx, Diags, Options, &Stats);
+    EXPECT_TRUE(R.has_value()) << Diags.str();
+    Run.Result = R.value_or(SlamResult{});
+    Run.StatsDoc = statsToJson(Stats);
+  }
+  TraceRecorder::setActive(nullptr);
+  Run.TraceDoc = Recorder.toChromeJson();
+  return Run;
+}
+
+} // namespace
+
+TEST(Observability, TraceCoversEveryPipelineStage) {
+  PipelineRun Run = runTraced(/*Workers=*/2);
+  EXPECT_EQ(Run.Result.V, SlamResult::Verdict::Validated);
+  EXPECT_TRUE(json::isValid(Run.TraceDoc));
+  for (const char *Span :
+       {"cfront.parse", "cfront.analyze", "cfront.instrument",
+        "cfront.normalize", "alias.points_to", "alias.modref", "c2bp.run",
+        "c2bp.cube_search", "prover.query", "bebop.build", "bebop.run",
+        "newton.analyze_trace", "slam.iteration"})
+    EXPECT_NE(Run.TraceDoc.find(std::string("\"") + Span + "\""),
+              std::string::npos)
+        << "missing span " << Span;
+}
+
+TEST(Observability, WorkerSpansCarryWorkerThreadIds) {
+  PipelineRun Run = runTraced(/*Workers=*/2);
+  // Cube searches execute on pool workers (tid >= 1); the driver phases
+  // stay on the main thread (tid 0). Both must appear.
+  EXPECT_NE(Run.TraceDoc.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(Run.TraceDoc.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(Run.TraceDoc.find("worker-1"), std::string::npos);
+}
+
+TEST(Observability, StatsExportNamesPipelineCounters) {
+  PipelineRun Run = runTraced(/*Workers=*/1);
+  EXPECT_TRUE(json::isValid(Run.StatsDoc));
+  for (const char *Key :
+       {"\"counters\"", "\"gauges\"", "\"histograms\"", "\"prover.calls\"",
+        "\"c2bp.cubes_checked\"", "\"bebop.bdd.nodes\"",
+        "\"prover.query_us\"", "\"slam.iterations\""})
+    EXPECT_NE(Run.StatsDoc.find(Key), std::string::npos)
+        << "missing key " << Key;
+}
+
+TEST(Observability, FlightLogHasOneRecordPerIteration) {
+  PipelineRun Run = runTraced(/*Workers=*/1);
+  ASSERT_EQ(Run.Result.FlightLog.size(),
+            static_cast<size_t>(Run.Result.Iterations));
+  uint64_t TotalProverCalls = 0;
+  for (size_t I = 0; I != Run.Result.FlightLog.size(); ++I) {
+    const IterationRecord &Rec = Run.Result.FlightLog[I];
+    EXPECT_EQ(Rec.Iteration, static_cast<int>(I) + 1);
+    EXPECT_GT(Rec.Predicates, 0u);
+    EXPECT_GT(Rec.Cubes, 0u);
+    EXPECT_GT(Rec.BddNodes, 0u);
+    TotalProverCalls += Rec.ProverCalls;
+  }
+  EXPECT_GT(TotalProverCalls, 0u);
+  // Refinement grows the predicate set monotonically.
+  for (size_t I = 1; I < Run.Result.FlightLog.size(); ++I)
+    EXPECT_GT(Run.Result.FlightLog[I].Predicates,
+              Run.Result.FlightLog[I - 1].Predicates);
+}
+
+TEST(Observability, FlightLogIsIndependentOfWorkerCount) {
+  PipelineRun Seq = runTraced(/*Workers=*/1);
+  PipelineRun Par = runTraced(/*Workers=*/2);
+  ASSERT_EQ(Seq.Result.FlightLog.size(), Par.Result.FlightLog.size());
+  for (size_t I = 0; I != Seq.Result.FlightLog.size(); ++I) {
+    const IterationRecord &A = Seq.Result.FlightLog[I];
+    const IterationRecord &B = Par.Result.FlightLog[I];
+    EXPECT_EQ(A.Predicates, B.Predicates);
+    EXPECT_EQ(A.Cubes, B.Cubes);
+    EXPECT_EQ(A.BddNodes, B.BddNodes);
+    EXPECT_EQ(A.NewPredicates, B.NewPredicates);
+  }
+}
+
+TEST(Observability, UntracedRunRecordsNothing) {
+  ASSERT_EQ(TraceRecorder::active(), nullptr);
+  logic::LogicContext Ctx;
+  DiagnosticEngine Diags;
+  auto R = checkSafety(LockingSource,
+                       SafetySpec::lockDiscipline("AcquireLock",
+                                                  "ReleaseLock"),
+                       Ctx, Diags);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->V, SlamResult::Verdict::Validated);
+  // The flight recorder still fills in (it does not depend on tracing).
+  EXPECT_EQ(R->FlightLog.size(), static_cast<size_t>(R->Iterations));
+}

@@ -1,0 +1,147 @@
+//===- ObservabilityFlags.h - Shared tool observability flags ---*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability flags every driver (slam, c2bp, bebop) accepts:
+///
+///   --trace-out <file>     write a Chrome trace-event JSON file
+///   --stats-json <file>    write the statistics registry as JSON
+///   --report               print a human-readable statistics report
+///   --slow-query-ms <ms>   log prover queries at/above the threshold
+///
+/// One parser so the three mains cannot drift apart; each main calls
+/// tryParse() from its flag loop, install() before the pipeline runs,
+/// and finish() once it has its final StatsRegistry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TOOLS_OBSERVABILITYFLAGS_H
+#define TOOLS_OBSERVABILITYFLAGS_H
+
+#include "support/CliArgs.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+namespace slam {
+namespace tools {
+
+class ObservabilityFlags {
+public:
+  enum class Parse {
+    NotMine,  ///< argv[I] is not an observability flag.
+    Consumed, ///< Flag (and its value, if any) consumed; I advanced.
+    Error,    ///< Flag recognized but malformed; exit 2.
+  };
+
+  /// Tries to consume argv[I]; advances I past any flag value.
+  Parse tryParse(const char *Tool, int Argc, char **Argv, int &I) {
+    auto Value = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s: %s requires a value\n", Tool, Flag);
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    if (!std::strcmp(Argv[I], "--trace-out")) {
+      const char *V = Value("--trace-out");
+      if (!V)
+        return Parse::Error;
+      TraceOut = V;
+      return Parse::Consumed;
+    }
+    if (!std::strcmp(Argv[I], "--stats-json")) {
+      const char *V = Value("--stats-json");
+      if (!V)
+        return Parse::Error;
+      StatsJsonOut = V;
+      return Parse::Consumed;
+    }
+    if (!std::strcmp(Argv[I], "--report")) {
+      Report = true;
+      return Parse::Consumed;
+    }
+    if (!std::strcmp(Argv[I], "--slow-query-ms")) {
+      const char *V = Value("--slow-query-ms");
+      double Ms;
+      if (!V || !cli::msArg(Tool, "--slow-query-ms", V, Ms))
+        return Parse::Error;
+      trace::setSlowQueryMillis(Ms);
+      return Parse::Consumed;
+    }
+    return Parse::NotMine;
+  }
+
+  /// Installs the global trace recorder when --trace-out was given.
+  /// Call after flag parsing, before any pipeline work.
+  void install() {
+    if (TraceOut.empty())
+      return;
+    Recorder = std::make_unique<TraceRecorder>();
+    TraceRecorder::setActive(Recorder.get());
+  }
+
+  bool wantReport() const { return Report; }
+
+  /// Uninstalls the recorder and writes the requested files. Returns
+  /// false (after a message on stderr) if any file cannot be written.
+  bool finish(const char *Tool, const StatsRegistry &Stats) {
+    bool Ok = true;
+    if (Recorder) {
+      TraceRecorder::setActive(nullptr);
+      std::string Err;
+      if (!Recorder->writeChromeJson(TraceOut, &Err)) {
+        std::fprintf(stderr, "%s: cannot write trace '%s': %s\n", Tool,
+                     TraceOut.c_str(), Err.c_str());
+        Ok = false;
+      }
+    }
+    if (!StatsJsonOut.empty()) {
+      std::string Doc = statsToJson(Stats);
+      std::FILE *F = std::fopen(StatsJsonOut.c_str(), "w");
+      if (!F || std::fwrite(Doc.data(), 1, Doc.size(), F) != Doc.size()) {
+        std::fprintf(stderr, "%s: cannot write stats '%s'\n", Tool,
+                     StatsJsonOut.c_str());
+        Ok = false;
+      }
+      if (F)
+        std::fclose(F);
+    }
+    return Ok;
+  }
+
+  /// Compact report used by the c2bp/bebop drivers (slam prints the
+  /// CEGAR flight recorder instead): counters/gauges, then one summary
+  /// line per latency histogram.
+  static void printStatsReport(std::FILE *Out, const StatsRegistry &Stats) {
+    std::fprintf(Out, "-- stats --\n%s", Stats.str().c_str());
+    for (const auto &[Name, H] : Stats.allHistograms()) {
+      if (H.count() == 0)
+        continue;
+      std::fprintf(Out,
+                   "%s: count=%llu mean_us=%.1f max_us=%llu\n", Name.c_str(),
+                   static_cast<unsigned long long>(H.count()),
+                   static_cast<double>(H.sumMicros()) /
+                       static_cast<double>(H.count()),
+                   static_cast<unsigned long long>(H.maxMicros()));
+    }
+  }
+
+private:
+  std::string TraceOut;
+  std::string StatsJsonOut;
+  bool Report = false;
+  std::unique_ptr<TraceRecorder> Recorder;
+};
+
+} // namespace tools
+} // namespace slam
+
+#endif // TOOLS_OBSERVABILITYFLAGS_H

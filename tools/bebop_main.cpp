@@ -10,9 +10,13 @@
 //   --invariant <proc> <label> print the reachable-state invariant at a
 //                              labeled statement
 //   --trace                   print the counterexample trace on failure
+//   --trace-out <file>        write a Chrome trace-event JSON file
+//   --stats-json <file>       write the statistics registry as JSON
+//   --report                  print stats + histogram summary
 //
 //===----------------------------------------------------------------------===//
 
+#include "ObservabilityFlags.h"
 #include "bebop/Bebop.h"
 #include "bp/BPParser.h"
 
@@ -39,7 +43,16 @@ int main(int argc, char **argv) {
   std::string Entry = "main";
   std::string InvProc, InvLabel;
   bool PrintTrace = false;
+  tools::ObservabilityFlags Obs;
   for (int I = 2; I < argc; ++I) {
+    switch (Obs.tryParse("bebop", argc, argv, I)) {
+    case tools::ObservabilityFlags::Parse::Consumed:
+      continue;
+    case tools::ObservabilityFlags::Parse::Error:
+      return 2;
+    case tools::ObservabilityFlags::Parse::NotMine:
+      break;
+    }
     if (!std::strcmp(argv[I], "--entry") && I + 1 < argc) {
       Entry = argv[++I];
     } else if (!std::strcmp(argv[I], "--invariant") && I + 2 < argc) {
@@ -64,7 +77,9 @@ int main(int argc, char **argv) {
     return 2;
   }
 
-  bebop::Bebop Checker(*P);
+  Obs.install();
+  StatsRegistry Stats;
+  bebop::Bebop Checker(*P, &Stats);
   auto R = Checker.run(Entry);
   std::printf("assert violated: %s\n", R.AssertViolated ? "yes" : "no");
   if (R.AssertViolated) {
@@ -81,5 +96,9 @@ int main(int argc, char **argv) {
     std::printf("invariant at %s:%s: %s\n", InvProc.c_str(),
                 InvLabel.c_str(),
                 Checker.invariantAtLabel(InvProc, InvLabel).c_str());
+  if (Obs.wantReport())
+    tools::ObservabilityFlags::printStatsReport(stdout, Stats);
+  if (!Obs.finish("bebop", Stats))
+    return 2;
   return R.AssertViolated ? 1 : 0;
 }

@@ -15,13 +15,19 @@
 //   --no-alias      use the syntactic alias oracle only
 //   --alias <mode>  points-to mode: das (default), andersen, steensgaard
 //   --stats         print statistics to stderr
+//   --trace-out <file>    write a Chrome trace-event JSON file
+//   --stats-json <file>   write the statistics registry as JSON
+//   --report              print stats + histogram summary to stderr
+//   --slow-query-ms <ms>  log slow prover queries to stderr
 //
 // Writes the boolean program BP(P, E) to stdout.
 //
 //===----------------------------------------------------------------------===//
 
+#include "ObservabilityFlags.h"
 #include "c2bp/C2bp.h"
 #include "cfront/Normalize.h"
+#include "support/CliArgs.h"
 #include "support/ThreadPool.h"
 
 #include <cstdio>
@@ -59,18 +65,27 @@ int main(int argc, char **argv) {
 
   c2bp::C2bpOptions Options;
   bool PrintStats = false;
+  tools::ObservabilityFlags Obs;
   for (int I = 3; I < argc; ++I) {
+    long long N;
+    switch (Obs.tryParse("c2bp", argc, argv, I)) {
+    case tools::ObservabilityFlags::Parse::Consumed:
+      continue;
+    case tools::ObservabilityFlags::Parse::Error:
+      return 2;
+    case tools::ObservabilityFlags::Parse::NotMine:
+      break;
+    }
     if (!std::strcmp(argv[I], "-k") && I + 1 < argc) {
-      Options.Cubes.MaxCubeLength = std::atoi(argv[++I]);
+      if (!cli::intArg("c2bp", "-k", argv[++I], 0, N))
+        return 2;
+      Options.Cubes.MaxCubeLength = static_cast<int>(N);
     } else if (!std::strcmp(argv[I], "-j") && I + 1 < argc) {
-      Options.NumWorkers = std::atoi(argv[++I]);
+      if (!cli::workersArg("c2bp", argv[++I], Options.NumWorkers))
+        return 2;
       if (Options.NumWorkers == 0)
         Options.NumWorkers =
             static_cast<int>(ThreadPool::defaultConcurrency());
-      if (Options.NumWorkers < 1) {
-        std::fprintf(stderr, "c2bp: bad worker count for -j\n");
-        return 2;
-      }
     } else if (!std::strcmp(argv[I], "--no-shared-cache")) {
       Options.UseSharedProverCache = false;
     } else if (!std::strcmp(argv[I], "--no-cone")) {
@@ -100,28 +115,37 @@ int main(int argc, char **argv) {
     }
   }
 
+  Obs.install();
+  StatsRegistry Stats;
   DiagnosticEngine Diags;
   auto Program = cfront::frontend(Source, Diags);
   if (!Program) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
+    Obs.finish("c2bp", Stats);
     return 1;
   }
   logic::LogicContext Ctx;
   auto Preds = c2bp::parsePredicateFile(Ctx, PredText, Diags);
   if (!Preds) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
+    Obs.finish("c2bp", Stats);
     return 1;
   }
 
-  StatsRegistry Stats;
   auto BP = c2bp::abstractProgram(*Program, *Preds, Ctx, Diags, Options,
                                   &Stats);
   if (!BP) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
+    Obs.finish("c2bp", Stats);
     return 1;
   }
   std::printf("%s", BP->str().c_str());
   if (PrintStats)
     std::fprintf(stderr, "%s", Stats.str().c_str());
+  // stdout carries the boolean program, so the report goes to stderr.
+  if (Obs.wantReport())
+    tools::ObservabilityFlags::printStatsReport(stderr, Stats);
+  if (!Obs.finish("c2bp", Stats))
+    return 2;
   return 0;
 }

@@ -6,14 +6,17 @@
 # Jobs:
 #   default    RelWithDebInfo build + full ctest suite
 #   tsan       ThreadSanitizer build + the concurrency-sensitive tests
-#              (parallel abstraction, prover, thread pool/support)
+#              (parallel abstraction, prover, thread pool/support,
+#              concurrent span tracing)
 #   asan       AddressSanitizer build + full ctest suite
 #   release    Release (-DNDEBUG) build + the suites whose soundness
 #              checks must not live in assert() (rational overflow,
 #              Simplex, BDD engine incl. the deep-chain regression)
+#   observability  slam with --trace-out/--stats-json on the example
+#              programs; validates both emitted JSON documents
 #   all        every job above, in order
 #
-# Usage: tools/ci.sh [default|tsan|asan|release|all]
+# Usage: tools/ci.sh [default|tsan|asan|release|observability|all]
 #
 #===----------------------------------------------------------------------===#
 
@@ -37,7 +40,7 @@ run_tsan() {
   # prover cache, and the merged statistics; the prover and support
   # suites cover the pieces in isolation.
   ctest --test-dir "$ROOT/build-tsan" --output-on-failure \
-    -R 'ParallelAbstraction|ThreadPool|Stats|Prover'
+    -R 'ParallelAbstraction|ThreadPool|Stats|Prover|Trace|Histogram|Observability'
 }
 
 run_asan() {
@@ -60,12 +63,36 @@ run_release() {
     -R 'Rational|Simplex|Bdd|DifferentialBdd|DeepBdd'
 }
 
+run_observability() {
+  echo "=== ci: observability: tracing + stats on the examples ==="
+  cmake -B "$ROOT/build" -S "$ROOT" -DSLAM_SANITIZE=
+  cmake --build "$ROOT/build" -j --target slam
+  local TMP
+  TMP="$(mktemp -d)"
+  trap 'rm -rf "$TMP"' RETURN
+  # Each run must produce a parseable Chrome trace and stats export;
+  # -j 2 exercises worker-thread span emission on the locking example.
+  "$ROOT/build/tools/slam" "$ROOT/examples/programs/locking.c" \
+    --lock AcquireLock,ReleaseLock -j 2 --report \
+    --trace-out "$TMP/locking.trace.json" \
+    --stats-json "$TMP/locking.stats.json"
+  "$ROOT/build/tools/slam" "$ROOT/examples/programs/irp.c" \
+    --irp CompleteRequest,MarkPending --report \
+    --trace-out "$TMP/irp.trace.json" \
+    --stats-json "$TMP/irp.stats.json"
+  for F in "$TMP"/*.json; do
+    python3 -m json.tool "$F" > /dev/null
+    echo "ci: valid JSON: $(basename "$F")"
+  done
+}
+
 case "$JOB" in
   default) run_default ;;
   tsan)    run_tsan ;;
   asan)    run_asan ;;
   release) run_release ;;
-  all)     run_default; run_tsan; run_asan; run_release ;;
-  *) echo "ci.sh: unknown job '$JOB' (default|tsan|asan|release|all)" >&2; exit 2 ;;
+  observability) run_observability ;;
+  all)     run_default; run_tsan; run_asan; run_release; run_observability ;;
+  *) echo "ci.sh: unknown job '$JOB' (default|tsan|asan|release|observability|all)" >&2; exit 2 ;;
 esac
 echo "=== ci: $JOB passed ==="

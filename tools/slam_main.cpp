@@ -14,14 +14,20 @@
 //   -k <n>                  cube length limit (default: 3)
 //   -j <n>                  worker threads for each abstraction pass
 //                           (default: 1; 0 = one per hardware thread)
+//   --trace-out <file>      write a Chrome trace-event JSON file
+//   --stats-json <file>     write the statistics registry as JSON
+//   --report                print the CEGAR flight recorder table
+//   --slow-query-ms <ms>    log slow prover queries to stderr
 //
 // Without a property option, the program's own assert statements are
 // checked (starting from an empty predicate set).
 //
 //===----------------------------------------------------------------------===//
 
+#include "ObservabilityFlags.h"
 #include "cfront/Normalize.h"
 #include "slam/Cegar.h"
+#include "support/CliArgs.h"
 #include "support/ThreadPool.h"
 
 #include <cstdio>
@@ -66,8 +72,18 @@ int main(int argc, char **argv) {
     return !A.empty() && !B.empty();
   };
 
+  tools::ObservabilityFlags Obs;
   for (int I = 2; I < argc; ++I) {
     std::string A, B;
+    long long N;
+    switch (Obs.tryParse("slam", argc, argv, I)) {
+    case tools::ObservabilityFlags::Parse::Consumed:
+      continue;
+    case tools::ObservabilityFlags::Parse::Error:
+      return 2;
+    case tools::ObservabilityFlags::Parse::NotMine:
+      break;
+    }
     if (!std::strcmp(argv[I], "--lock") && I + 1 < argc &&
         SplitPair(argv[I + 1], A, B)) {
       Spec = slamtool::SafetySpec::lockDiscipline(A, B);
@@ -81,24 +97,26 @@ int main(int argc, char **argv) {
     } else if (!std::strcmp(argv[I], "--entry") && I + 1 < argc) {
       Options.EntryProc = argv[++I];
     } else if (!std::strcmp(argv[I], "--max-iters") && I + 1 < argc) {
-      Options.MaxIterations = std::atoi(argv[++I]);
+      if (!cli::intArg("slam", "--max-iters", argv[++I], 1, N))
+        return 2;
+      Options.MaxIterations = static_cast<int>(N);
     } else if (!std::strcmp(argv[I], "-k") && I + 1 < argc) {
-      Options.C2bp.Cubes.MaxCubeLength = std::atoi(argv[++I]);
+      if (!cli::intArg("slam", "-k", argv[++I], 0, N))
+        return 2;
+      Options.C2bp.Cubes.MaxCubeLength = static_cast<int>(N);
     } else if (!std::strcmp(argv[I], "-j") && I + 1 < argc) {
-      Options.C2bp.NumWorkers = std::atoi(argv[++I]);
+      if (!cli::workersArg("slam", argv[++I], Options.C2bp.NumWorkers))
+        return 2;
       if (Options.C2bp.NumWorkers == 0)
         Options.C2bp.NumWorkers =
             static_cast<int>(ThreadPool::defaultConcurrency());
-      if (Options.C2bp.NumWorkers < 1) {
-        std::fprintf(stderr, "slam: bad worker count for -j\n");
-        return 2;
-      }
     } else {
       std::fprintf(stderr, "slam: unknown option '%s'\n", argv[I]);
       return 2;
     }
   }
 
+  Obs.install();
   DiagnosticEngine Diags;
   StatsRegistry Stats;
   std::optional<SlamResult> R;
@@ -111,6 +129,7 @@ int main(int argc, char **argv) {
   }
   if (!R) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
+    Obs.finish("slam", Stats);
     return 2;
   }
 
@@ -133,5 +152,25 @@ int main(int argc, char **argv) {
     }
     std::printf("\n");
   }
+
+  if (Obs.wantReport()) {
+    std::printf("\nCEGAR flight recorder:\n");
+    std::printf("%5s %6s %7s %6s %7s %10s %9s %9s %9s %6s\n", "iter",
+                "preds", "prover", "hits", "cubes", "bdd-nodes", "c2bp(s)",
+                "bebop(s)", "newton(s)", "new");
+    for (const slamtool::IterationRecord &Rec : R->FlightLog)
+      std::printf("%5d %6zu %7llu %6llu %7llu %10llu %9.3f %9.3f %9.3f "
+                  "%6zu\n",
+                  Rec.Iteration, Rec.Predicates,
+                  static_cast<unsigned long long>(Rec.ProverCalls),
+                  static_cast<unsigned long long>(Rec.CacheHits),
+                  static_cast<unsigned long long>(Rec.Cubes),
+                  static_cast<unsigned long long>(Rec.BddNodes),
+                  Rec.C2bpSeconds, Rec.BebopSeconds, Rec.NewtonSeconds,
+                  Rec.NewPredicates);
+  }
+
+  if (!Obs.finish("slam", Stats))
+    return 2;
   return R->V == SlamResult::Verdict::BugFound ? 1 : 0;
 }
