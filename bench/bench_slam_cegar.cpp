@@ -31,7 +31,7 @@ namespace {
 SlamResult run(const workloads::DriverModel &M, double *Seconds) {
   logic::LogicContext Ctx;
   DiagnosticEngine Diags;
-  slamtool::SlamOptions Options;
+  slamtool::PipelineOptions Options;
   Options.C2bp.Cubes.MaxCubeLength = 3;
   Timer T;
   auto R = slamtool::checkSafety(M.Source, M.Spec, Ctx, Diags, Options);

@@ -49,7 +49,7 @@ DriverRow runDriver(const workloads::DriverModel &M) {
   logic::LogicContext Ctx;
   DiagnosticEngine Diags;
   StatsRegistry Stats;
-  slamtool::SlamOptions Options;
+  slamtool::PipelineOptions Options;
   Options.C2bp.Cubes.MaxCubeLength = 3;
   Timer T;
   auto R = slamtool::checkSafety(M.Source, M.Spec, Ctx, Diags, Options,

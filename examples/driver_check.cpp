@@ -42,7 +42,7 @@ int main() {
     logic::LogicContext Ctx;
     DiagnosticEngine Diags;
     StatsRegistry Stats;
-    slamtool::SlamOptions Options;
+    slamtool::PipelineOptions Options;
     Options.C2bp.Cubes.MaxCubeLength = 3;
     auto R =
         slamtool::checkSafety(M.Source, M.Spec, Ctx, Diags, Options, &Stats);

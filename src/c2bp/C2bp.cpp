@@ -178,7 +178,7 @@ struct C2bpTool::Impl {
   Impl(const Program &P, const PredicateSet &Preds,
        logic::LogicContext &Ctx, C2bpOptions Options, StatsRegistry *Stats)
       : P(P), Preds(Preds), Ctx(Ctx), Options(Options), Stats(Stats),
-        MainProver(Ctx, Stats) {
+        MainProver(Ctx, Stats, Options.ExternalCache) {
     PT = std::make_unique<alias::PointsTo>(P, Options.AliasMode);
     MR = std::make_unique<alias::ModRef>(P, *PT);
     for (const FuncDecl *F : P.Functions)
@@ -189,13 +189,32 @@ struct C2bpTool::Impl {
 
   static std::string predName(ExprRef E) { return E->str(); }
 
+  /// Classifies one finished transfer-function task for the flight
+  /// recorder: it *recomputed* if any raw cube enumeration ran, it was
+  /// *reused* if it was answered purely from the cross-iteration memo.
+  /// Tasks that needed neither (syntactic fast paths, F-cache hits,
+  /// trivial WPs) are counted in neither column.
+  static void noteTaskReuse(StatsRegistry *St, uint64_t Searches,
+                            uint64_t MemoHits) {
+    if (!St)
+      return;
+    if (Searches)
+      St->add("c2bp.stmts_recomputed");
+    else if (MemoHits)
+      St->add("c2bp.stmts_reused");
+  }
+
   /// Runs \p Fn now (sequential mode) or queues it for the pool.
   void defer(std::function<void(CubeSearch &, bp::BProgram &)> Fn) {
     if (!Parallel) {
       TraceSpan Span("c2bp.cube_search", "c2bp");
       if (Span.enabled())
         Span.arg("proc", CurScope->F->Name);
-      Fn(*CurScope->Cubes, *BP);
+      CubeSearch &CS = *CurScope->Cubes;
+      uint64_t Searches0 = CS.searchesRun(), MemoHits0 = CS.memoHits();
+      Fn(CS, *BP);
+      noteTaskReuse(Stats, CS.searchesRun() - Searches0,
+                    CS.memoHits() - MemoHits0);
       return;
     }
     Pending.push_back({CurScope, std::move(Fn)});
@@ -217,7 +236,8 @@ struct C2bpTool::Impl {
     FS.WP = std::make_unique<logic::WPEngine>(Ctx, *FS.Oracle);
     if (!Parallel)
       FS.Cubes = std::make_unique<CubeSearch>(Ctx, MainProver, *FS.Oracle,
-                                              Options.Cubes, Stats);
+                                              Options.Cubes, Stats,
+                                              Options.Memo);
     for (ExprRef E : Preds.Globals) {
       FS.ScopePreds.push_back(E);
       FS.ScopeNames.push_back(predName(E));
@@ -615,8 +635,9 @@ struct C2bpTool::Impl {
         // inputs — repeated sub-queries are absorbed by the shared
         // prover cache instead.
         CubeSearch CS(Ctx, WK.Prover, *T.FS->Oracle, Options.Cubes,
-                      &WK.Stats);
+                      &WK.Stats, Options.Memo);
         T.Fn(CS, *WK.Arena);
+        noteTaskReuse(&WK.Stats, CS.searchesRun(), CS.memoHits());
       });
     }
     Pool.wait();
@@ -639,11 +660,16 @@ struct C2bpTool::Impl {
     }
     Parallel = Options.NumWorkers > 1;
     if (Parallel) {
-      if (Options.UseSharedProverCache)
+      // The caller's run-wide cache (when given) takes precedence over
+      // a private per-run cache: it carries results across iterations
+      // and down to the persistent backend.
+      prover::SharedProverCache *Shared = Options.ExternalCache;
+      if (!Shared && Options.UseSharedProverCache) {
         SharedCache = std::make_unique<prover::SharedProverCache>();
+        Shared = SharedCache.get();
+      }
       for (int W = 0; W != Options.NumWorkers; ++W)
-        Workers.push_back(
-            std::make_unique<Worker>(Ctx, SharedCache.get()));
+        Workers.push_back(std::make_unique<Worker>(Ctx, Shared));
     }
 
     BP = std::make_unique<bp::BProgram>();

@@ -60,6 +60,15 @@ struct C2bpOptions {
   int NumWorkers = 1;
   /// Share prover results across workers (parallel mode only).
   bool UseSharedProverCache = true;
+  /// Cross-iteration cube-search memo, owned by the CEGAR driver; this
+  /// run replays results committed by earlier iterations and stages its
+  /// own. Null = every search runs fresh (standalone c2bp, ablations).
+  AbstractionMemo *Memo = nullptr;
+  /// A caller-owned shared prover cache (the CEGAR driver's run-wide
+  /// cache, possibly backed by a persistent CacheBackend). When set it
+  /// is used by the sequential prover *and* all workers, overriding
+  /// UseSharedProverCache; results then survive across iterations.
+  prover::SharedProverCache *ExternalCache = nullptr;
 };
 
 /// One abstraction run. The logic context must be the one the

@@ -6,9 +6,12 @@
 
 #include "c2bp/CubeSearch.h"
 
+#include "c2bp/AbstractionMemo.h"
 #include "logic/ExprUtils.h"
 
 #include <algorithm>
+#include <cassert>
+#include <optional>
 
 using namespace slam;
 using namespace slam::c2bp;
@@ -67,15 +70,13 @@ CubeSearch::coneOfInfluence(const std::vector<ExprRef> &V,
   return Out;
 }
 
-Dnf CubeSearch::searchRaw(const std::vector<ExprRef> &V, ExprRef Phi) {
-  // The empty cube: is phi already valid?
-  if (!Phi->isFalse() &&
-      P.implies(Ctx.trueE(), Phi) == Validity::Valid)
-    return {Cube{}};
-
+Dnf CubeSearch::searchWithMemo(const std::vector<ExprRef> &V, ExprRef Phi) {
   // Cone of influence shrinks the variable set per query (opt. 3). The
   // enforce query F(false) mentions no locations, so every predicate is
-  // relevant to it.
+  // relevant to it. Computed here, before the memo, because the cone
+  // *is* the reuse signature: a statement whose phi involves none of
+  // the predicates added since last iteration has the same cone, hence
+  // the same key, hence a replayable result.
   std::vector<int> Indices;
   if (Options.ConeOfInfluence && !Phi->isFalse()) {
     Indices = coneOfInfluence(V, Phi);
@@ -83,6 +84,58 @@ Dnf CubeSearch::searchRaw(const std::vector<ExprRef> &V, ExprRef Phi) {
     for (size_t I = 0; I != V.size(); ++I)
       Indices.push_back(static_cast<int>(I));
   }
+
+  if (!Memo) {
+    ++NumSearches;
+    return searchRaw(V, Phi, Indices);
+  }
+
+  AbstractionMemo::Key K;
+  K.PhiId = Phi->id();
+  K.ConeIds.reserve(Indices.size());
+  for (int Idx : Indices)
+    K.ConeIds.push_back(V[static_cast<size_t>(Idx)]->id());
+
+  if (std::optional<Dnf> Replay = Memo->find(K)) {
+    // Stored literals are cone positions; rebind them to this V. The
+    // enumeration visits cone indices in ascending order and appended
+    // predicates never reorder survivors, so the remapped Dnf is
+    // literal-for-literal what the search would have produced.
+    for (Cube &C : *Replay)
+      for (CubeLit &L : C)
+        L.Var = Indices[static_cast<size_t>(L.Var)];
+    ++NumMemoHits;
+    if (Stats)
+      Stats->add("c2bp.memo_hits");
+    return std::move(*Replay);
+  }
+
+  ++NumSearches;
+  if (Stats)
+    Stats->add("c2bp.memo_misses");
+  Dnf Result = searchRaw(V, Phi, Indices);
+
+  // Stage with literals rewritten to cone positions. Every literal's
+  // V index is in Indices (the search never leaves the cone), and
+  // Indices is sorted, so a binary search recovers the position.
+  Dnf ConeDnf = Result;
+  for (Cube &C : ConeDnf)
+    for (CubeLit &L : C) {
+      auto It = std::lower_bound(Indices.begin(), Indices.end(), L.Var);
+      assert(It != Indices.end() && *It == L.Var &&
+             "cube literal outside the cone");
+      L.Var = static_cast<int>(It - Indices.begin());
+    }
+  Memo->stage(std::move(K), std::move(ConeDnf));
+  return Result;
+}
+
+Dnf CubeSearch::searchRaw(const std::vector<ExprRef> &V, ExprRef Phi,
+                          const std::vector<int> &Indices) {
+  // The empty cube: is phi already valid?
+  if (!Phi->isFalse() &&
+      P.implies(Ctx.trueE(), Phi) == Validity::Valid)
+    return {Cube{}};
 
   int MaxLen = Options.MaxCubeLength < 0
                    ? static_cast<int>(Indices.size())
@@ -167,7 +220,7 @@ Dnf CubeSearch::searchRaw(const std::vector<ExprRef> &V, ExprRef Phi) {
 }
 
 Dnf CubeSearch::findContradictions(const std::vector<ExprRef> &V) {
-  return searchRaw(V, Ctx.falseE());
+  return searchWithMemo(V, Ctx.falseE());
 }
 
 Dnf CubeSearch::findF(const std::vector<ExprRef> &V, ExprRef Phi) {
@@ -248,7 +301,7 @@ Dnf CubeSearch::findF(const std::vector<ExprRef> &V, ExprRef Phi) {
   }
 
   if (!Done)
-    Result = searchRaw(V, Phi);
+    Result = searchWithMemo(V, Phi);
 
   if (Options.CacheResults)
     Cache[{V, Phi}] = Result;

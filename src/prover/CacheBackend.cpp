@@ -1,0 +1,199 @@
+//===- CacheBackend.cpp - The append-only prover-result log ---------------===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prover/CacheBackend.h"
+
+#include "prover/Prover.h"
+#include "support/Json.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace slam;
+using namespace slam::prover;
+
+namespace {
+
+std::string headerLine() {
+  std::string Doc;
+  json::Writer W(Doc);
+  W.beginObject();
+  W.kv("format", FileCacheBackend::formatName());
+  W.kv("version", FileCacheBackend::FormatVersion);
+  W.endObject();
+  return Doc;
+}
+
+/// Header validation without a general JSON parser: the line must be a
+/// valid JSON document and contain exactly the expected format/version
+/// pair. We compare against the canonical emission (the writer is the
+/// only thing that ever produces headers), accepting it byte for byte.
+bool isCurrentHeader(const std::string &Line) {
+  return json::isValid(Line) && Line == headerLine();
+}
+
+} // namespace
+
+FileCacheBackend::FileCacheBackend(std::string Path)
+    : Path(std::move(Path)) {
+  load();
+}
+
+FileCacheBackend::~FileCacheBackend() {
+  std::string Err;
+  if (!flush(&Err))
+    std::fprintf(stderr, "prover-cache: %s\n", Err.c_str());
+}
+
+void FileCacheBackend::load() {
+  std::ifstream In(Path);
+  if (!In)
+    return; // No file yet: a normal cold start; flush will create it.
+
+  auto Warn = [&](const char *Reason) {
+    if (LoadOk) // One warning per load, for the first damage found.
+      std::fprintf(stderr,
+                   "prover-cache: ignoring '%s': %s (proceeding with a "
+                   "cold cache)\n",
+                   Path.c_str(), Reason);
+    LoadOk = false;
+    // Appending after damage would strand the new entries behind the
+    // torn line; the next flush rewrites the file whole instead (which
+    // also heals it).
+    CanAppend = false;
+  };
+
+  std::string Line;
+  if (!std::getline(In, Line) || !isCurrentHeader(Line)) {
+    // Wrong magic or a future/old version: nothing in the body can be
+    // trusted to mean what this build thinks it means. Drop it all; the
+    // next flush rewrites the file in the current format.
+    Warn("missing or unsupported header");
+    return;
+  }
+  CanAppend = true;
+
+  size_t LineNo = 1;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    if (Line.back() == '\r') // getline strips '\n' but not a CRLF's '\r'.
+      Line.pop_back();
+    // "<32 hex> <+|-> <S|U>" — 36 characters exactly.
+    support::Fingerprint FP;
+    bool Damaged =
+        Line.size() != 36 || Line[32] != ' ' || Line[34] != ' ' ||
+        (Line[33] != '+' && Line[33] != '-') ||
+        (Line[35] != 'S' && Line[35] != 'U') ||
+        !support::Fingerprint::parseHex(std::string_view(Line).substr(0, 32),
+                                        FP);
+    if (Damaged) {
+      // A torn tail (crash mid-append) or hand-editing. The prefix
+      // already loaded is intact entries and stays usable; nothing
+      // after the damage is trusted.
+      char Reason[64];
+      std::snprintf(Reason, sizeof(Reason),
+                    "malformed entry at line %zu", LineNo);
+      Warn(Reason);
+      return;
+    }
+    Key K{FP, Line[33] == '+'};
+    Satisfiability V =
+        Line[35] == 'S' ? Satisfiability::Sat : Satisfiability::Unsat;
+    auto [It, Inserted] = Entries.emplace(K, V);
+    if (!Inserted && It->second != V) {
+      // The same key with two different answers can only mean file
+      // damage (or a fingerprint collision); neither answer can be
+      // trusted, so forget the key entirely.
+      char Reason[80];
+      std::snprintf(Reason, sizeof(Reason),
+                    "conflicting results for one fingerprint at line %zu",
+                    LineNo);
+      Warn(Reason);
+      Entries.erase(It);
+    }
+  }
+}
+
+std::optional<Satisfiability>
+FileCacheBackend::probe(const support::Fingerprint &FP, bool Positive) {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Entries.find(Key{FP, Positive});
+  if (It == Entries.end())
+    return std::nullopt;
+  return It->second;
+}
+
+void FileCacheBackend::record(const support::Fingerprint &FP, bool Positive,
+                              Satisfiability Result) {
+  if (Result != Satisfiability::Sat && Result != Satisfiability::Unsat)
+    return; // Unknown is a budget artifact, not a persistable fact.
+  std::lock_guard<std::mutex> L(M);
+  Key K{FP, Positive};
+  auto [It, Inserted] = Entries.emplace(K, Result);
+  if (!Inserted)
+    return; // Already loaded or recorded; append-only log stays minimal.
+  (void)It;
+  Pending.push_back(K);
+}
+
+bool FileCacheBackend::flush(std::string *Err) {
+  std::lock_guard<std::mutex> L(M);
+  if (Pending.empty() && CanAppend)
+    return true; // Nothing new and the file is already valid.
+
+  std::ostringstream Body;
+  auto WriteEntry = [&](const Key &K) {
+    Body << K.FP.hex() << ' ' << (K.Positive ? '+' : '-') << ' '
+         << (Entries.at(K) == Satisfiability::Sat ? 'S' : 'U') << '\n';
+  };
+
+  std::ofstream Out;
+  if (CanAppend) {
+    Out.open(Path, std::ios::app);
+    if (Out)
+      for (const Key &K : Pending)
+        WriteEntry(K);
+  } else {
+    // The file was absent or untrusted: rewrite it whole in the
+    // current format from the entries we believe.
+    Out.open(Path, std::ios::trunc);
+    if (Out) {
+      Body << headerLine() << '\n';
+      for (const auto &[K, V] : Entries) {
+        (void)V;
+        WriteEntry(K);
+      }
+    }
+  }
+  if (!Out) {
+    if (Err)
+      *Err = "cannot write '" + Path + "'";
+    return false;
+  }
+  Out << Body.str();
+  Out.flush();
+  if (!Out) {
+    if (Err)
+      *Err = "short write to '" + Path + "'";
+    return false;
+  }
+  Pending.clear();
+  CanAppend = true;
+  return true;
+}
+
+size_t FileCacheBackend::loadedEntries() const {
+  std::lock_guard<std::mutex> L(M);
+  return Entries.size() - Pending.size();
+}
+
+size_t FileCacheBackend::pendingEntries() const {
+  std::lock_guard<std::mutex> L(M);
+  return Pending.size();
+}

@@ -1,0 +1,133 @@
+//===- CacheBackend.h - Persistent prover-result storage --------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistence seam under the in-memory SharedProverCache. Prover
+/// calls dominate abstraction cost (Section 5.2), and a SLAM re-run on
+/// the same input re-decides the same queries; a CacheBackend lets those
+/// answers survive the process. The layering is strict:
+///
+///     Prover (private per worker)
+///       -> SharedProverCache (sharded, in-memory, per run)
+///            -> CacheBackend (persistent, keyed on structural
+///               fingerprints — ids are not stable across runs)
+///
+/// The backend is consulted only on an in-memory miss and appended to
+/// only when a genuinely new result is published, so a warm run does no
+/// redundant writes. Only definite answers (Sat/Unsat) are stored:
+/// Unknown encodes an exhausted search budget, not a fact.
+///
+/// FileCacheBackend implements the seam as a versioned, append-only
+/// text log:
+///
+///     {"format":"slam-prover-cache","version":1}
+///     <32-hex-char fingerprint> <+|-> <S|U>
+///     ...
+///
+/// The JSON header (written with json::Writer, validated with
+/// json::isValid) carries the format version; `+`/`-` is the query
+/// polarity relative to the negation-stripped base formula; `S`/`U` is
+/// Sat/Unsat. A corrupt or version-mismatched file is *never* fatal and
+/// never trusted: the loader warns, drops everything it cannot parse,
+/// and the run proceeds cold (a truncated tail — the expected
+/// crash-mid-flush artifact — keeps its intact prefix).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROVER_CACHEBACKEND_H
+#define PROVER_CACHEBACKEND_H
+
+#include "support/Fingerprint.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace slam {
+namespace prover {
+
+enum class Satisfiability; // From Prover.h.
+
+/// Abstract persistent result store. Implementations must be
+/// thread-safe: the shared cache probes and records from every worker.
+class CacheBackend {
+public:
+  virtual ~CacheBackend() = default;
+
+  /// Looks up the stored result for (\p FP, \p Positive); nullopt when
+  /// the backend has no definite answer.
+  virtual std::optional<Satisfiability>
+  probe(const support::Fingerprint &FP, bool Positive) = 0;
+
+  /// Records a freshly-decided result. Unknown results are ignored.
+  virtual void record(const support::Fingerprint &FP, bool Positive,
+                      Satisfiability Result) = 0;
+
+  /// Persists anything recorded since load/last flush. Returns false
+  /// with \p Err set when the store cannot be written.
+  virtual bool flush(std::string *Err) = 0;
+};
+
+/// The append-only log file backend behind `--prover-cache <path>`.
+class FileCacheBackend : public CacheBackend {
+public:
+  /// Binds to \p Path and loads any existing log. A missing file is a
+  /// normal cold start; a corrupt one warns on stderr (once, naming the
+  /// path and the reason) and proceeds cold.
+  explicit FileCacheBackend(std::string Path);
+  ~FileCacheBackend() override; // Flushes; load/flush warnings on stderr.
+
+  std::optional<Satisfiability> probe(const support::Fingerprint &FP,
+                                      bool Positive) override;
+  void record(const support::Fingerprint &FP, bool Positive,
+              Satisfiability Result) override;
+  bool flush(std::string *Err) override;
+
+  /// Entries answered from / resident in the loaded log.
+  size_t loadedEntries() const;
+  /// Entries recorded this run and not yet flushed.
+  size_t pendingEntries() const;
+  /// False when the file existed but could not be (fully) parsed.
+  bool loadedCleanly() const { return LoadOk; }
+
+  /// The current on-disk format version.
+  static constexpr int FormatVersion = 1;
+  /// The header's "format" value.
+  static const char *formatName() { return "slam-prover-cache"; }
+
+private:
+  struct Key {
+    support::Fingerprint FP;
+    bool Positive;
+    bool operator<(const Key &O) const {
+      if (!(FP == O.FP))
+        return FP < O.FP;
+      return Positive < O.Positive;
+    }
+  };
+
+  void load();
+
+  std::string Path;
+  mutable std::mutex M;
+  /// Loaded + recorded entries (probe source).
+  std::map<Key, Satisfiability> Entries;
+  /// Keys recorded since the last flush, in record order (append log).
+  std::vector<Key> Pending;
+  /// The file parsed without damage (missing counts as clean).
+  bool LoadOk = true;
+  /// The file existed and had a valid header (flush may append);
+  /// otherwise flush rewrites the file from scratch.
+  bool CanAppend = false;
+};
+
+} // namespace prover
+} // namespace slam
+
+#endif // PROVER_CACHEBACKEND_H

@@ -214,6 +214,37 @@ Satisfiability Prover::timedCheck(ExprRef Phi) {
   return Result;
 }
 
+Satisfiability Prover::noteSharedHit(SharedProverCache::Outcome Kind,
+                                     Satisfiability Value) {
+  const char *Counter = nullptr;
+  switch (Kind) {
+  case SharedProverCache::Outcome::Hit:
+    ++NumCacheHits;
+    Counter = "prover.shared_cache_hits";
+    break;
+  case SharedProverCache::Outcome::WaitHit:
+    ++NumCacheHits;
+    Counter = "prover.shared_cache_hits";
+    if (Stats)
+      Stats->add("prover.shared_wait_hits");
+    break;
+  case SharedProverCache::Outcome::NegHit:
+    ++NumNegCacheHits;
+    Counter = "prover.neg_cache_hits";
+    break;
+  case SharedProverCache::Outcome::DiskHit:
+    ++NumCacheHits;
+    Counter = "prover.disk_cache_hits";
+    break;
+  case SharedProverCache::Outcome::Miss:
+    assert(false && "a miss is not a hit");
+    break;
+  }
+  if (Stats && Counter)
+    Stats->add(Counter);
+  return Value;
+}
+
 Satisfiability Prover::checkSat(ExprRef Phi) {
   assert(Phi->isFormula() && "checkSat takes a formula");
   if (Phi->isTrue())
@@ -229,35 +260,20 @@ Satisfiability Prover::checkSat(ExprRef Phi) {
   }
 
   // Shared (cross-worker) cache path: the shared cache subsumes the
-  // private one so hit accounting stays comparable across workers.
+  // private one so hit accounting stays comparable across workers. On
+  // a miss the Lookup carries the reserved slot; publishing through it
+  // releases it, and any path that skips the publish (a throwing
+  // decision procedure) abandons it on destruction rather than leaving
+  // waiters parked forever.
   if (Shared) {
     SharedProverCache::Lookup L = Shared->lookupOrReserve(Phi);
-    switch (L.Kind) {
-    case SharedProverCache::Outcome::Hit:
-      ++NumCacheHits;
-      if (Stats)
-        Stats->add("prover.shared_cache_hits");
-      return L.Value;
-    case SharedProverCache::Outcome::WaitHit:
-      ++NumCacheHits;
-      if (Stats) {
-        Stats->add("prover.shared_cache_hits");
-        Stats->add("prover.shared_wait_hits");
-      }
-      return L.Value;
-    case SharedProverCache::Outcome::NegHit:
-      ++NumNegCacheHits;
-      if (Stats)
-        Stats->add("prover.neg_cache_hits");
-      return L.Value;
-    case SharedProverCache::Outcome::Miss:
-      break;
-    }
+    if (L.Kind != SharedProverCache::Outcome::Miss)
+      return noteSharedHit(L.Kind, L.Value);
     ++NumCalls;
     if (Stats)
       Stats->add("prover.calls");
     Satisfiability Result = timedCheck(Phi);
-    Shared->publish(Phi, Result);
+    L.Slot.publish(Result);
     return Result;
   }
 

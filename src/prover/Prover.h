@@ -82,6 +82,12 @@ public:
 private:
   Satisfiability checkSatUncached(logic::ExprRef Phi);
 
+  /// Counts a non-Miss shared-cache outcome into the right counters
+  /// (prover.shared_cache_hits / neg_cache_hits / disk_cache_hits) and
+  /// returns its value.
+  Satisfiability noteSharedHit(SharedProverCache::Outcome Kind,
+                               Satisfiability Value);
+
   /// checkSatUncached plus observability: a "prover.query" trace span,
   /// a sample in the prover.query_us latency histogram, and the
   /// slow-query log (trace::slowQueryMillis).

@@ -6,7 +6,11 @@
 
 #include "prover/ProverCache.h"
 
+#include "logic/ExprUtils.h"
+#include "prover/CacheBackend.h"
 #include "prover/Prover.h"
+
+#include <cassert>
 
 using namespace slam;
 using namespace slam::prover;
@@ -19,29 +23,73 @@ std::pair<ExprRef, bool> SharedProverCache::canonicalize(ExprRef Phi) {
   return {Phi, true};
 }
 
+support::Fingerprint SharedProverCache::fingerprintFor(ExprRef Base) {
+  {
+    std::lock_guard<std::mutex> L(FpM);
+    auto It = FpMemo.find(Base);
+    if (It != FpMemo.end())
+      return It->second;
+  }
+  // Hash outside the lock — this is the expensive part — and tolerate
+  // two workers racing to compute the same (identical) value.
+  support::Fingerprint FP = logic::structuralFingerprint(Base);
+  std::lock_guard<std::mutex> L(FpM);
+  FpMemo.emplace(Base, FP);
+  return FP;
+}
+
 SharedProverCache::Lookup SharedProverCache::lookupOrReserve(ExprRef Phi) {
   auto [Base, Positive] = canonicalize(Phi);
   int Slot = Positive ? 0 : 1;
   Shard &S = shardFor(Base);
 
-  std::unique_lock<std::mutex> L(S.M);
-  Entry &E = S.Map[Base];
-  bool Waited = false;
-  while (E.State[Slot] == SlotState::InFlight) {
-    // Another worker is deciding this exact query; ride its coattails.
-    S.Cv.wait(L);
-    Waited = true;
+  {
+    std::unique_lock<std::mutex> L(S.M);
+    Entry &E = S.Map[Base];
+    bool Waited = false;
+    while (E.State[Slot] == SlotState::InFlight) {
+      // Another worker is deciding this exact query; ride its
+      // coattails. Waking to an Empty slot means that worker abandoned
+      // its reservation — fall through and claim it ourselves.
+      S.Cv.wait(L);
+      Waited = true;
+    }
+    if (E.State[Slot] == SlotState::Done) {
+      if (Waited)
+        return {Outcome::WaitHit, E.Value[Slot], Reservation()};
+      return {E.Derived[Slot] ? Outcome::NegHit : Outcome::Hit,
+              E.Value[Slot], Reservation()};
+    }
+    E.State[Slot] = SlotState::InFlight;
   }
-  if (E.State[Slot] == SlotState::Done) {
-    if (Waited)
-      return {Outcome::WaitHit, E.Value[Slot]};
-    return {E.Derived[Slot] ? Outcome::NegHit : Outcome::Hit, E.Value[Slot]};
+
+  // In-memory miss with the slot held in-flight: probe the persistent
+  // layer (outside the shard lock — fingerprinting and the backend's
+  // own lock must not serialize the shard). Concurrent identical
+  // queries are parked on the condition variable, so the backend sees
+  // one probe per query, and a disk answer published here wakes them
+  // as ordinary WaitHits.
+  if (Backend) {
+    support::Fingerprint FP = fingerprintFor(Base);
+    std::optional<Satisfiability> OnDisk = Backend->probe(FP, Positive);
+    if (!OnDisk) {
+      // The disk stores only genuine decisions, never derived entries,
+      // so re-derive here: opposite-polarity Unsat => this side Sat.
+      std::optional<Satisfiability> Opposite = Backend->probe(FP, !Positive);
+      if (Opposite && *Opposite == Satisfiability::Unsat)
+        OnDisk = Satisfiability::Sat;
+    }
+    if (OnDisk) {
+      publishImpl(Phi, *OnDisk, /*Persist=*/false);
+      return {Outcome::DiskHit, *OnDisk, Reservation()};
+    }
   }
-  E.State[Slot] = SlotState::InFlight;
-  return {Outcome::Miss, Satisfiability::Unknown};
+
+  return {Outcome::Miss, Satisfiability::Unknown, Reservation(this, Phi)};
 }
 
-void SharedProverCache::publish(ExprRef Phi, Satisfiability Result) {
+void SharedProverCache::publishImpl(ExprRef Phi, Satisfiability Result,
+                                    bool Persist) {
   auto [Base, Positive] = canonicalize(Phi);
   int Slot = Positive ? 0 : 1;
   Shard &S = shardFor(Base);
@@ -50,6 +98,7 @@ void SharedProverCache::publish(ExprRef Phi, Satisfiability Result) {
     Entry &E = S.Map[Base];
     E.State[Slot] = SlotState::Done;
     E.Value[Slot] = Result;
+    E.Derived[Slot] = false;
     // phi unsatisfiable => !phi valid => !phi satisfiable. The converse
     // direction gives nothing (Sat tells us nothing about the negation),
     // and an Unknown must not poison the other polarity.
@@ -62,6 +111,35 @@ void SharedProverCache::publish(ExprRef Phi, Satisfiability Result) {
     }
   }
   S.Cv.notify_all();
+  // Only the polarity actually decided is persisted; the derived
+  // opposite is recomputed from it on every load.
+  if (Persist && Backend)
+    Backend->record(fingerprintFor(Base), Positive, Result);
+}
+
+void SharedProverCache::abandonImpl(ExprRef Phi) {
+  auto [Base, Positive] = canonicalize(Phi);
+  int Slot = Positive ? 0 : 1;
+  Shard &S = shardFor(Base);
+  {
+    std::lock_guard<std::mutex> L(S.M);
+    Entry &E = S.Map[Base];
+    assert(E.State[Slot] == SlotState::InFlight &&
+           "abandoning a slot we do not hold");
+    E.State[Slot] = SlotState::Empty;
+  }
+  S.Cv.notify_all();
+}
+
+void SharedProverCache::Reservation::publish(Satisfiability Result) {
+  assert(Cache && "publishing through an empty reservation");
+  SharedProverCache *C = std::exchange(Cache, nullptr);
+  C->publishImpl(Phi, Result, /*Persist=*/true);
+}
+
+void SharedProverCache::Reservation::abandon() {
+  if (SharedProverCache *C = std::exchange(Cache, nullptr))
+    C->abandonImpl(Phi);
 }
 
 size_t SharedProverCache::size() const {

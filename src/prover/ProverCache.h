@@ -11,7 +11,7 @@
 /// extended across threads — prover-call volume is the cost the paper
 /// and its successors engineer around).
 ///
-/// Three design points:
+/// Four design points:
 ///
 ///   * **Sharded + mutex-striped.** Entries are distributed over a fixed
 ///     set of shards by the stable hash-consed id of the queried
@@ -29,7 +29,20 @@
 ///   * **Single-flight.** A worker that starts deciding a query marks
 ///     its slot in-flight; a second worker asking the same query blocks
 ///     on the shard's condition variable instead of burning a duplicate
-///     prover call, and is woken with the published result.
+///     prover call, and is woken with the published result. A miss
+///     hands the caller a Reservation — an RAII claim on the in-flight
+///     slot. Publishing through it fills the slot; destroying it
+///     unpublished (an exception, an early return) abandons the slot
+///     back to Empty and wakes waiters so they can re-reserve, instead
+///     of deadlocking them on a result that will never come.
+///
+///   * **Persistent under, memory over.** An optional CacheBackend sits
+///     below the in-memory shards: an in-memory miss probes the backend
+///     (keyed on structural fingerprints — hash-consed ids are not
+///     stable across runs) before the caller is told to run the prover,
+///     and each genuinely new result is recorded for the next run. The
+///     backend is consulted while the slot is held in-flight, so
+///     concurrent identical queries cost one disk probe, not N.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,41 +50,84 @@
 #define PROVER_PROVERCACHE_H
 
 #include "logic/Expr.h"
+#include "support/Fingerprint.h"
 
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 
 namespace slam {
 namespace prover {
 
 enum class Satisfiability; // From Prover.h (included by users of both).
+class CacheBackend;
 
 /// Shared, sharded satisfiability cache. Bound to one LogicContext:
 /// keys are interned expression nodes of that context.
 class SharedProverCache {
 public:
+  /// \p Backend, when non-null, persists results across runs; it must
+  /// outlive the cache. No backend means a purely in-memory cache.
+  explicit SharedProverCache(CacheBackend *Backend = nullptr)
+      : Backend(Backend) {}
+
   /// How a lookup was (or was not) answered.
   enum class Outcome {
-    Miss,    ///< Not cached; the caller reserved the slot and must publish.
-    Hit,     ///< Answered from a completed entry.
+    Miss,    ///< Not cached; the caller holds the slot and must publish.
+    Hit,     ///< Answered from a completed in-memory entry.
     NegHit,  ///< Answered from the opposite polarity's Unsat result.
     WaitHit, ///< Answered after blocking on another worker's in-flight call.
+    DiskHit, ///< Answered from the persistent backend.
+  };
+
+  /// RAII claim on an in-flight slot. Exactly one of two things happens
+  /// to a reservation: publish() fills the slot and wakes waiters, or
+  /// destruction abandons it — the slot returns to Empty and waiters
+  /// are woken to re-reserve. Movable, not copyable.
+  class Reservation {
+  public:
+    Reservation() = default;
+    Reservation(Reservation &&O) noexcept
+        : Cache(std::exchange(O.Cache, nullptr)), Phi(O.Phi) {}
+    Reservation &operator=(Reservation &&O) noexcept {
+      if (this != &O) {
+        abandon();
+        Cache = std::exchange(O.Cache, nullptr);
+        Phi = O.Phi;
+      }
+      return *this;
+    }
+    ~Reservation() { abandon(); }
+
+    /// True while the slot is held (i.e. publish is still owed).
+    explicit operator bool() const { return Cache != nullptr; }
+
+    /// Publishes \p Result into the reserved slot, records it to the
+    /// backend, wakes waiters, and releases the claim.
+    void publish(Satisfiability Result);
+
+  private:
+    friend class SharedProverCache;
+    Reservation(SharedProverCache *Cache, logic::ExprRef Phi)
+        : Cache(Cache), Phi(Phi) {}
+    void abandon();
+
+    SharedProverCache *Cache = nullptr;
+    logic::ExprRef Phi = nullptr;
   };
 
   struct Lookup {
     Outcome Kind;
     Satisfiability Value; ///< Meaningful unless Kind == Miss.
+    Reservation Slot;     ///< Engaged exactly when Kind == Miss.
   };
 
-  /// Looks \p Phi up; on a miss the slot is reserved in-flight and the
-  /// caller MUST call publish(Phi, result) exactly once (there is no
-  /// abandonment path — the decision procedures do not throw).
+  /// Looks \p Phi up in memory, then (on a miss) in the backend. A Miss
+  /// returns an engaged Reservation the caller publishes through; all
+  /// other outcomes carry the answer.
   Lookup lookupOrReserve(logic::ExprRef Phi);
-
-  /// Publishes the result of a reserved query and wakes waiters.
-  void publish(logic::ExprRef Phi, Satisfiability Result);
 
   /// Entries resident across all shards (for reporting).
   size_t size() const;
@@ -105,7 +161,21 @@ private:
     return Shards[Base->id() % NumShards];
   }
 
+  /// Fills the slot for \p Phi with \p Result and wakes waiters.
+  /// \p Persist additionally records it to the backend (false for
+  /// results that *came from* the backend, so warm runs append
+  /// nothing they already know).
+  void publishImpl(logic::ExprRef Phi, Satisfiability Result, bool Persist);
+  void abandonImpl(logic::ExprRef Phi);
+
+  /// The structural fingerprint of \p Base, memoized: WPs recur across
+  /// cubes and fingerprinting is O(formula size).
+  support::Fingerprint fingerprintFor(logic::ExprRef Base);
+
   Shard Shards[NumShards];
+  CacheBackend *Backend;
+  std::mutex FpM;
+  std::unordered_map<logic::ExprRef, support::Fingerprint> FpMemo;
 };
 
 } // namespace prover

@@ -6,9 +6,11 @@
 
 #include "slam/Cegar.h"
 
+#include "c2bp/AbstractionMemo.h"
 #include "cfront/Normalize.h"
 #include "cfront/Parser.h"
 #include "cfront/Sema.h"
+#include "prover/CacheBackend.h"
 #include "slam/Newton.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
@@ -20,7 +22,7 @@ using namespace slam::cfront;
 SlamResult slamtool::checkProgram(const Program &P,
                                   const c2bp::PredicateSet &InitialPreds,
                                   logic::LogicContext &Ctx,
-                                  const SlamOptions &Options,
+                                  const PipelineOptions &Options,
                                   StatsRegistry *Stats) {
   SlamResult Result;
   Result.Predicates = InitialPreds;
@@ -28,14 +30,42 @@ SlamResult slamtool::checkProgram(const Program &P,
   // a local registry when the caller did not supply one.
   StatsRegistry LocalStats;
   StatsRegistry *S = Stats ? Stats : &LocalStats;
-  prover::Prover NewtonProver(Ctx, S);
+
+  // Cross-run persistence: a backend (injected, or opened from
+  // --prover-cache) is layered under a *run-wide* shared prover cache,
+  // which every iteration's abstraction and Newton's feasibility
+  // queries go through — so results flow across iterations in memory
+  // and across runs on disk. No backend, no run-wide cache: each
+  // iteration keeps its classic per-run caching behavior.
+  std::unique_ptr<prover::FileCacheBackend> OwnedBackend;
+  prover::CacheBackend *Backend = Options.Backend;
+  if (!Backend && !Options.ProverCachePath.empty()) {
+    OwnedBackend =
+        std::make_unique<prover::FileCacheBackend>(Options.ProverCachePath);
+    Backend = OwnedBackend.get();
+  }
+  std::unique_ptr<prover::SharedProverCache> RunCache;
+  if (Backend)
+    RunCache = std::make_unique<prover::SharedProverCache>(Backend);
+
+  prover::Prover NewtonProver(Ctx, S, RunCache.get());
+
+  // Cross-iteration reuse: the memo outlives the per-iteration C2bp
+  // tools; each iteration replays searches committed by earlier ones
+  // and commits its own at the end of the round.
+  c2bp::AbstractionMemo Memo;
+  c2bp::C2bpOptions C2bpOpts = Options.C2bp;
+  if (Options.Cegar.Incremental)
+    C2bpOpts.Memo = &Memo;
+  if (RunCache)
+    C2bpOpts.ExternalCache = RunCache.get();
 
   auto CacheHits = [&] {
     return S->get("prover.cache_hits") + S->get("prover.shared_cache_hits") +
            S->get("prover.neg_cache_hits");
   };
 
-  for (int Iter = 0; Iter != Options.MaxIterations; ++Iter) {
+  for (int Iter = 0; Iter != Options.Cegar.MaxIterations; ++Iter) {
     Result.Iterations = Iter + 1;
     S->add("slam.iterations");
 
@@ -48,25 +78,36 @@ SlamResult slamtool::checkProgram(const Program &P,
     Rec.Predicates = Result.Predicates.totalCount();
     uint64_t Calls0 = S->get("prover.calls");
     uint64_t Hits0 = CacheHits();
+    uint64_t Disk0 = S->get("prover.disk_cache_hits");
     uint64_t Cubes0 = S->get("c2bp.cubes_checked");
+    uint64_t Reused0 = S->get("c2bp.stmts_reused");
+    uint64_t Recomp0 = S->get("c2bp.stmts_recomputed");
 
     // Phase 1: abstraction.
     Timer C2bpTime;
-    c2bp::C2bpTool Tool(P, Result.Predicates, Ctx, Options.C2bp, S);
+    c2bp::C2bpTool Tool(P, Result.Predicates, Ctx, C2bpOpts, S);
     std::unique_ptr<bp::BProgram> BP = Tool.run();
+    // Promote this round's staged cube-search results; iteration k+1
+    // re-searches only statements whose (phi, cone) signature the new
+    // predicates changed. Committing between iterations (never during
+    // one) is what keeps replay decisions schedule-independent.
+    Memo.commit();
     Rec.C2bpSeconds = C2bpTime.seconds();
 
     // Phase 2: model checking.
     Timer BebopTime;
     bebop::Bebop Checker(*BP, S);
-    bebop::CheckResult Check = Checker.run(Options.EntryProc);
+    bebop::CheckResult Check = Checker.run(Options.Cegar.EntryProc);
     Rec.BebopSeconds = BebopTime.seconds();
     Rec.BddNodes = Checker.bddNodes();
 
     auto FinishRecord = [&] {
       Rec.ProverCalls = S->get("prover.calls") - Calls0;
       Rec.CacheHits = CacheHits() - Hits0;
+      Rec.DiskHits = S->get("prover.disk_cache_hits") - Disk0;
       Rec.Cubes = S->get("c2bp.cubes_checked") - Cubes0;
+      Rec.StmtsReused = S->get("c2bp.stmts_reused") - Reused0;
+      Rec.StmtsRecomputed = S->get("c2bp.stmts_recomputed") - Recomp0;
       Result.FlightLog.push_back(Rec);
     };
 
@@ -106,7 +147,7 @@ SlamResult slamtool::checkProgram(const Program &P,
 std::optional<SlamResult> slamtool::checkSafety(
     std::string_view Source, const SafetySpec &Spec,
     logic::LogicContext &Ctx, DiagnosticEngine &Diags,
-    const SlamOptions &Options, StatsRegistry *Stats) {
+    const PipelineOptions &Options, StatsRegistry *Stats) {
   std::unique_ptr<Program> P;
   {
     TraceSpan Span("cfront.parse", "cfront");
@@ -121,7 +162,7 @@ std::optional<SlamResult> slamtool::checkSafety(
   }
   {
     TraceSpan Span("cfront.instrument", "cfront");
-    if (!instrument(*P, Spec, Options.EntryProc, Diags))
+    if (!instrument(*P, Spec, Options.Cegar.EntryProc, Diags))
       return std::nullopt;
   }
   {

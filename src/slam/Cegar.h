@@ -19,6 +19,7 @@
 
 #include "bebop/Bebop.h"
 #include "c2bp/C2bp.h"
+#include "slam/Pipeline.h"
 #include "slam/SafetySpec.h"
 
 #include <optional>
@@ -27,12 +28,6 @@
 
 namespace slam {
 namespace slamtool {
-
-struct SlamOptions {
-  c2bp::C2bpOptions C2bp;
-  int MaxIterations = 24;
-  std::string EntryProc = "main";
-};
 
 /// One row of the CEGAR flight recorder: what a single
 /// abstract-check-refine iteration cost and what it produced. Counter
@@ -43,7 +38,10 @@ struct IterationRecord {
   size_t Predicates = 0;    ///< Predicates entering the iteration.
   uint64_t ProverCalls = 0; ///< Uncached prover decisions this iteration.
   uint64_t CacheHits = 0;   ///< Prover cache hits (private+shared+negation).
+  uint64_t DiskHits = 0;    ///< Queries answered from the persistent cache.
   uint64_t Cubes = 0;       ///< Cubes enumerated by the C2bp searches.
+  uint64_t StmtsReused = 0; ///< Statements replayed from the memo untouched.
+  uint64_t StmtsRecomputed = 0; ///< Statements that re-ran a cube search.
   uint64_t BddNodes = 0;    ///< BDD nodes live after model checking.
   double C2bpSeconds = 0;
   double BebopSeconds = 0;
@@ -69,11 +67,14 @@ struct SlamResult {
 };
 
 /// Runs the SLAM loop on a parsed+analyzed+normalized program with the
-/// given initial predicates (often just the property seeds).
+/// given initial predicates (often just the property seeds). Honors
+/// Options.Cegar (loop control, incremental reuse), Options.C2bp (the
+/// per-iteration abstraction), and Options.ProverCachePath/Backend
+/// (cross-run prover-result persistence).
 SlamResult checkProgram(const cfront::Program &P,
                         const c2bp::PredicateSet &InitialPreds,
                         logic::LogicContext &Ctx,
-                        const SlamOptions &Options = {},
+                        const PipelineOptions &Options = {},
                         StatsRegistry *Stats = nullptr);
 
 /// End-to-end front door: parse \p Source, weave \p Spec, normalize,
@@ -83,7 +84,7 @@ std::optional<SlamResult> checkSafety(std::string_view Source,
                                       const SafetySpec &Spec,
                                       logic::LogicContext &Ctx,
                                       DiagnosticEngine &Diags,
-                                      const SlamOptions &Options = {},
+                                      const PipelineOptions &Options = {},
                                       StatsRegistry *Stats = nullptr);
 
 } // namespace slamtool

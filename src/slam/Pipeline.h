@@ -1,0 +1,92 @@
+//===- Pipeline.h - Unified pipeline configuration --------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One options aggregate for the whole toolkit. The three drivers
+/// (slam, c2bp, bebop) and every embedded use of the pipeline configure
+/// themselves from a single PipelineOptions value, so a knob added for
+/// one phase is visible — with the same name and default — everywhere
+/// the phase runs. tools/PipelineFlags.h maps command lines onto this
+/// struct; nothing here parses anything.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLAM_PIPELINE_H
+#define SLAM_PIPELINE_H
+
+#include "c2bp/C2bp.h"
+
+#include <string>
+
+namespace slam {
+namespace prover {
+class CacheBackend;
+}
+
+namespace slamtool {
+
+/// The CEGAR driver's knobs (Section 6.1's loop).
+struct CegarOptions {
+  /// Refinement cap; hitting it yields Verdict::Unknown.
+  int MaxIterations = 24;
+  std::string EntryProc = "main";
+  /// Carry cube-search results across iterations: a statement whose
+  /// relevant-predicate signature is unchanged from an earlier round
+  /// replays its abstraction instead of re-searching. Off = every
+  /// iteration abstracts from scratch (the ablation baseline; output
+  /// is byte-identical either way).
+  bool Incremental = true;
+};
+
+/// The standalone bebop driver's knobs.
+struct BebopToolOptions {
+  std::string EntryProc = "main";
+  /// When both set: print the reachable-state invariant at this
+  /// labeled statement after checking.
+  std::string InvariantProc;
+  std::string InvariantLabel;
+  /// Print the counterexample trace on failure.
+  bool PrintTrace = false;
+};
+
+/// Observability settings, as plain data. Installation of the trace
+/// recorder / slow-query threshold and emission of the files is the
+/// drivers' job (tools/ObservabilityFlags.h); the pipeline itself only
+/// ever reads the already-installed globals.
+struct ObservabilityOptions {
+  /// Chrome trace-event JSON output path; empty = tracing off.
+  std::string TraceOutPath;
+  /// Statistics-registry JSON output path; empty = none.
+  std::string StatsJsonPath;
+  /// Print the per-tool report (flight recorder / stats summary).
+  bool Report = false;
+  /// Log prover queries at/above this many ms to stderr; < 0 = off.
+  double SlowQueryMillis = -1;
+};
+
+/// Everything one pipeline run is configured by.
+struct PipelineOptions {
+  c2bp::C2bpOptions C2bp;
+  BebopToolOptions Bebop;
+  CegarOptions Cegar;
+  ObservabilityOptions Obs;
+
+  /// Path of the persistent prover-result log (`--prover-cache`);
+  /// empty = no persistence. The CEGAR driver (or the c2bp driver)
+  /// opens a FileCacheBackend here and layers a run-wide shared prover
+  /// cache over it.
+  std::string ProverCachePath;
+  /// An injected backend (tests); takes precedence over
+  /// ProverCachePath and is not owned.
+  prover::CacheBackend *Backend = nullptr;
+  /// c2bp --stats: dump the raw counter registry to stderr.
+  bool PrintStats = false;
+};
+
+} // namespace slamtool
+} // namespace slam
+
+#endif // SLAM_PIPELINE_H

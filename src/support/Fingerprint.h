@@ -1,0 +1,118 @@
+//===- Fingerprint.h - Stable 128-bit content fingerprints ------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 128-bit fingerprint type for content-addressed caching across
+/// process runs. Hash-consed expression ids are stable only *within* a
+/// run (they are assigned in creation order, which depends on the input
+/// and, under the parallel abstraction, on thread interleaving), so
+/// anything persisted to disk — the prover result log in particular —
+/// must be keyed on a structural hash instead. 128 bits keep the
+/// accidental-collision probability negligible at any realistic cache
+/// size (~2^-64 per pair), which matters because a collision in the
+/// persistent prover cache would silently mis-answer a query.
+///
+/// The mixing functions are fixed-width and explicitly seeded, so
+/// fingerprints are identical across platforms, compilers, and ASLR —
+/// a cache file written on one machine loads on another.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_FINGERPRINT_H
+#define SUPPORT_FINGERPRINT_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace slam {
+namespace support {
+
+/// splitmix64 finalizer: the standard full-avalanche 64-bit mixer.
+inline uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// FNV-1a over a byte string (names, tags). Explicit 64-bit constants —
+/// never std::hash, whose value is implementation-defined.
+inline uint64_t hashBytes(std::string_view S) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+/// A 128-bit fingerprint as two independently-mixed 64-bit lanes.
+struct Fingerprint {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  bool operator==(const Fingerprint &O) const {
+    return Hi == O.Hi && Lo == O.Lo;
+  }
+  bool operator!=(const Fingerprint &O) const { return !(*this == O); }
+  bool operator<(const Fingerprint &O) const {
+    return Hi != O.Hi ? Hi < O.Hi : Lo < O.Lo;
+  }
+
+  /// Folds one 64-bit word into both lanes (with distinct per-lane
+  /// tweaks so the lanes stay independent).
+  void combine(uint64_t X) {
+    Hi = mix64(Hi ^ X);
+    Lo = mix64(Lo ^ (X * 0xff51afd7ed558ccdull + 1));
+  }
+
+  /// 32 lowercase hex characters, high lane first.
+  std::string hex() const {
+    char Buf[33];
+    std::snprintf(Buf, sizeof(Buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(Hi),
+                  static_cast<unsigned long long>(Lo));
+    return std::string(Buf, 32);
+  }
+
+  /// Parses exactly 32 hex characters; returns false on anything else.
+  static bool parseHex(std::string_view S, Fingerprint &Out) {
+    if (S.size() != 32)
+      return false;
+    uint64_t Lanes[2] = {0, 0};
+    for (int Lane = 0; Lane != 2; ++Lane) {
+      for (int I = 0; I != 16; ++I) {
+        char C = S[static_cast<size_t>(Lane * 16 + I)];
+        uint64_t D;
+        if (C >= '0' && C <= '9')
+          D = static_cast<uint64_t>(C - '0');
+        else if (C >= 'a' && C <= 'f')
+          D = static_cast<uint64_t>(C - 'a' + 10);
+        else if (C >= 'A' && C <= 'F')
+          D = static_cast<uint64_t>(C - 'A' + 10);
+        else
+          return false;
+        Lanes[Lane] = (Lanes[Lane] << 4) | D;
+      }
+    }
+    Out.Hi = Lanes[0];
+    Out.Lo = Lanes[1];
+    return true;
+  }
+};
+
+struct FingerprintHash {
+  size_t operator()(const Fingerprint &F) const {
+    return static_cast<size_t>(F.Hi ^ F.Lo);
+  }
+};
+
+} // namespace support
+} // namespace slam
+
+#endif // SUPPORT_FINGERPRINT_H

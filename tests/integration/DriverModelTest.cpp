@@ -15,7 +15,7 @@ namespace {
 SlamResult checkDriver(const DriverModel &M) {
   logic::LogicContext Ctx;
   DiagnosticEngine Diags;
-  slamtool::SlamOptions Options;
+  slamtool::PipelineOptions Options;
   Options.C2bp.Cubes.MaxCubeLength = 3;
   auto R = slamtool::checkSafety(M.Source, M.Spec, Ctx, Diags, Options);
   EXPECT_TRUE(R.has_value()) << M.Name << ": " << Diags.str();

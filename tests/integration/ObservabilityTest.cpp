@@ -59,7 +59,7 @@ PipelineRun runTraced(int Workers) {
     logic::LogicContext Ctx;
     DiagnosticEngine Diags;
     StatsRegistry Stats;
-    SlamOptions Options;
+    PipelineOptions Options;
     Options.C2bp.NumWorkers = Workers;
     // The driver's default: bounded cubes make the first abstraction
     // too coarse, so the loop needs a Newton refinement round (which

@@ -1,0 +1,184 @@
+//===- PipelineFlagsTest.cpp - The shared command-line parser --------------===//
+//
+// tools/PipelineFlags.h is the single parser behind slam, c2bp, and
+// bebop; these tests pin the contract the three mains rely on: shared
+// flags parse identically everywhere, per-tool flags are rejected by
+// the other tools, --help exits 0, unknown options and bad positional
+// counts exit 2, and the slam driver's k=3 default holds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/PipelineFlags.h"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+using namespace slam;
+using namespace slam::tools;
+
+namespace {
+
+/// Runs the parser on a synthesized argv (argv[0] included here).
+std::optional<int> parse(ToolKind Tool, std::initializer_list<const char *>
+                                            Args,
+                         PipelineArgs &Out) {
+  std::vector<std::string> Store{toolName(Tool)};
+  Store.insert(Store.end(), Args.begin(), Args.end());
+  std::vector<char *> Argv;
+  for (std::string &S : Store)
+    Argv.push_back(S.data());
+  return parsePipelineFlags(Tool, static_cast<int>(Argv.size()),
+                            Argv.data(), Out);
+}
+
+} // namespace
+
+TEST(PipelineFlags, SlamDefaults) {
+  PipelineArgs PA;
+  EXPECT_EQ(parse(ToolKind::Slam, {"prog.c"}, PA), std::nullopt);
+  ASSERT_EQ(PA.Inputs.size(), 1u);
+  EXPECT_EQ(PA.Inputs[0], "prog.c");
+  EXPECT_FALSE(PA.HaveSpec);
+  // The paper's k=3 is the driver default (c2bp alone is unlimited).
+  EXPECT_EQ(PA.Options.C2bp.Cubes.MaxCubeLength, 3);
+  EXPECT_EQ(PA.Options.Cegar.MaxIterations, 24);
+  EXPECT_EQ(PA.Options.Cegar.EntryProc, "main");
+  EXPECT_TRUE(PA.Options.Cegar.Incremental);
+  EXPECT_TRUE(PA.Options.ProverCachePath.empty());
+
+  PipelineArgs PB;
+  EXPECT_EQ(parse(ToolKind::C2bp, {"prog.c", "preds.txt"}, PB),
+            std::nullopt);
+  EXPECT_EQ(PB.Options.C2bp.Cubes.MaxCubeLength, -1);
+}
+
+TEST(PipelineFlags, SharedFlagsParseIdenticallyInEveryTool) {
+  for (ToolKind Tool :
+       {ToolKind::Slam, ToolKind::C2bp, ToolKind::Bebop}) {
+    PipelineArgs PA;
+    std::optional<int> Exit =
+        Tool == ToolKind::C2bp
+            ? parse(Tool, {"in.c", "preds.txt", "--trace-out", "t.json",
+                           "--stats-json", "s.json", "--report",
+                           "--slow-query-ms", "5"},
+                    PA)
+            : parse(Tool, {"input", "--trace-out", "t.json", "--stats-json",
+                           "s.json", "--report", "--slow-query-ms", "5"},
+                    PA);
+    EXPECT_EQ(Exit, std::nullopt) << toolName(Tool);
+    EXPECT_EQ(PA.Options.Obs.TraceOutPath, "t.json") << toolName(Tool);
+    EXPECT_EQ(PA.Options.Obs.StatsJsonPath, "s.json") << toolName(Tool);
+    EXPECT_TRUE(PA.Options.Obs.Report) << toolName(Tool);
+    EXPECT_EQ(PA.Options.Obs.SlowQueryMillis, 5) << toolName(Tool);
+  }
+}
+
+TEST(PipelineFlags, SlamSpecificFlags) {
+  PipelineArgs PA;
+  EXPECT_EQ(parse(ToolKind::Slam,
+                  {"p.c", "--lock", "Acq,Rel", "--entry", "start",
+                   "--max-iters", "7", "-k", "2", "-j", "2",
+                   "--prover-cache", "cache.log", "--no-incremental"},
+                  PA),
+            std::nullopt);
+  EXPECT_TRUE(PA.HaveSpec);
+  EXPECT_EQ(PA.Options.Cegar.EntryProc, "start");
+  EXPECT_EQ(PA.Options.Cegar.MaxIterations, 7);
+  EXPECT_EQ(PA.Options.C2bp.Cubes.MaxCubeLength, 2);
+  EXPECT_EQ(PA.Options.C2bp.NumWorkers, 2);
+  EXPECT_EQ(PA.Options.ProverCachePath, "cache.log");
+  EXPECT_FALSE(PA.Options.Cegar.Incremental);
+}
+
+TEST(PipelineFlags, MalformedPropertyPairIsAUsageError) {
+  PipelineArgs PA;
+  EXPECT_EQ(parse(ToolKind::Slam, {"p.c", "--lock", "NoComma"}, PA), 2);
+  PipelineArgs PB;
+  EXPECT_EQ(parse(ToolKind::Slam, {"p.c", "--irp", ",Half"}, PB), 2);
+}
+
+TEST(PipelineFlags, C2bpSpecificFlags) {
+  PipelineArgs PA;
+  EXPECT_EQ(parse(ToolKind::C2bp,
+                  {"p.c", "e.txt", "--no-shared-cache", "--no-cone",
+                   "--alias", "andersen", "--stats", "--prover-cache",
+                   "c.log"},
+                  PA),
+            std::nullopt);
+  EXPECT_FALSE(PA.Options.C2bp.UseSharedProverCache);
+  EXPECT_FALSE(PA.Options.C2bp.Cubes.ConeOfInfluence);
+  EXPECT_EQ(PA.Options.C2bp.AliasMode, alias::Mode::Andersen);
+  EXPECT_TRUE(PA.Options.PrintStats);
+  EXPECT_EQ(PA.Options.ProverCachePath, "c.log");
+}
+
+TEST(PipelineFlags, BebopSpecificFlags) {
+  PipelineArgs PA;
+  EXPECT_EQ(parse(ToolKind::Bebop,
+                  {"p.bp", "--entry", "go", "--invariant", "proc", "L1",
+                   "--trace"},
+                  PA),
+            std::nullopt);
+  EXPECT_EQ(PA.Options.Bebop.EntryProc, "go");
+  EXPECT_EQ(PA.Options.Bebop.InvariantProc, "proc");
+  EXPECT_EQ(PA.Options.Bebop.InvariantLabel, "L1");
+  EXPECT_TRUE(PA.Options.Bebop.PrintTrace);
+}
+
+TEST(PipelineFlags, ToolsRejectEachOthersFlags) {
+  // The per-tool sections must not leak: an abstraction knob means
+  // nothing to bebop, a model-checking knob nothing to c2bp.
+  PipelineArgs PA;
+  EXPECT_EQ(parse(ToolKind::Bebop, {"p.bp", "-k", "3"}, PA), 2);
+  PipelineArgs PB;
+  EXPECT_EQ(parse(ToolKind::C2bp, {"p.c", "e.txt", "--trace"}, PB), 2);
+  PipelineArgs PC;
+  EXPECT_EQ(parse(ToolKind::Slam, {"p.c", "--alias", "das"}, PC), 2);
+  PipelineArgs PD;
+  EXPECT_EQ(parse(ToolKind::C2bp, {"p.c", "e.txt", "--no-incremental"},
+                  PD),
+            2);
+}
+
+TEST(PipelineFlags, HelpExitsZeroEverywhere) {
+  for (ToolKind Tool :
+       {ToolKind::Slam, ToolKind::C2bp, ToolKind::Bebop}) {
+    PipelineArgs PA;
+    EXPECT_EQ(parse(Tool, {"--help"}, PA), 0) << toolName(Tool);
+    PipelineArgs PB;
+    EXPECT_EQ(parse(Tool, {"-h"}, PB), 0) << toolName(Tool);
+  }
+}
+
+TEST(PipelineFlags, UnknownOptionExitsTwoEverywhere) {
+  for (ToolKind Tool :
+       {ToolKind::Slam, ToolKind::C2bp, ToolKind::Bebop}) {
+    PipelineArgs PA;
+    EXPECT_EQ(parse(Tool, {"input", "--no-such-flag"}, PA), 2)
+        << toolName(Tool);
+  }
+}
+
+TEST(PipelineFlags, PositionalCountIsEnforced) {
+  PipelineArgs PA;
+  EXPECT_EQ(parse(ToolKind::Slam, {}, PA), 2);
+  PipelineArgs PB;
+  EXPECT_EQ(parse(ToolKind::Slam, {"a.c", "b.c"}, PB), 2);
+  PipelineArgs PC;
+  EXPECT_EQ(parse(ToolKind::C2bp, {"only-one.c"}, PC), 2);
+  PipelineArgs PD;
+  EXPECT_EQ(parse(ToolKind::Bebop, {"a.bp", "b.bp"}, PD), 2);
+}
+
+TEST(PipelineFlags, MissingFlagValueIsAUsageError) {
+  PipelineArgs PA;
+  EXPECT_EQ(parse(ToolKind::Slam, {"p.c", "--prover-cache"}, PA), 2);
+  PipelineArgs PB;
+  EXPECT_EQ(parse(ToolKind::Bebop, {"p.bp", "--invariant", "proc"}, PB),
+            2);
+  PipelineArgs PC;
+  EXPECT_EQ(parse(ToolKind::Slam, {"p.c", "-k", "nonsense"}, PC), 2);
+}

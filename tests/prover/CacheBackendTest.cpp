@@ -1,0 +1,304 @@
+//===- CacheBackendTest.cpp - Persistent prover-cache behavior -------------===//
+//
+// The on-disk result log under the shared prover cache: structural
+// fingerprints as cross-run keys, the round trip through flush/load,
+// every corruption mode (bad header, version skew, torn tail,
+// conflicting entries) degrading to a cold start instead of a crash,
+// and the SharedProverCache integration — disk hits, opposite-polarity
+// derivation, and Reservation abandonment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prover/CacheBackend.h"
+
+#include "logic/ExprUtils.h"
+#include "logic/Parser.h"
+#include "prover/Prover.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace slam;
+using namespace slam::prover;
+using namespace slam::logic;
+
+namespace {
+
+/// A per-test scratch file that starts absent and is deleted on exit.
+class ScratchFile {
+public:
+  explicit ScratchFile(const char *Name)
+      : P(::testing::TempDir() + Name) {
+    std::remove(P.c_str());
+  }
+  ~ScratchFile() { std::remove(P.c_str()); }
+
+  const std::string &path() const { return P; }
+
+  void write(const std::string &Text) {
+    std::ofstream Out(P, std::ios::trunc);
+    Out << Text;
+  }
+
+  std::string read() const {
+    std::ifstream In(P);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    return Buf.str();
+  }
+
+private:
+  std::string P;
+};
+
+ExprRef parse(LogicContext &Ctx, const std::string &Text) {
+  DiagnosticEngine Diags;
+  ExprRef E = parseExpr(Ctx, Text, Diags);
+  EXPECT_TRUE(E != nullptr) << Diags.str();
+  return E;
+}
+
+support::Fingerprint fpOf(LogicContext &Ctx, const std::string &Text) {
+  return structuralFingerprint(parse(Ctx, Text));
+}
+
+const char *ValidHeader = "{\"format\":\"slam-prover-cache\",\"version\":1}";
+
+} // namespace
+
+TEST(StructuralFingerprint, StableAcrossContexts) {
+  // Hash-consed ids depend on interning order, so they cannot key a
+  // cross-run store; the structural fingerprint must not.
+  LogicContext A, B;
+  parse(A, "z == 9"); // Skew B's id assignment relative to A's.
+  EXPECT_EQ(fpOf(A, "x + 1 < y"), fpOf(B, "x + 1 < y"));
+  EXPECT_FALSE(fpOf(A, "x + 1 < y") == fpOf(A, "x + 2 < y"));
+  EXPECT_FALSE(fpOf(A, "x < y") == fpOf(A, "y < x"));
+}
+
+TEST(FileCacheBackend, MissingFileIsACleanColdStart) {
+  ScratchFile F("cache_cold.log");
+  FileCacheBackend B(F.path());
+  EXPECT_TRUE(B.loadedCleanly());
+  EXPECT_EQ(B.loadedEntries(), 0u);
+  LogicContext Ctx;
+  EXPECT_FALSE(B.probe(fpOf(Ctx, "x == 1"), true).has_value());
+}
+
+TEST(FileCacheBackend, RoundTripThroughDisk) {
+  ScratchFile F("cache_roundtrip.log");
+  LogicContext Ctx;
+  support::Fingerprint P1 = fpOf(Ctx, "x == 1");
+  support::Fingerprint P2 = fpOf(Ctx, "y < 0 && y > 0");
+  {
+    FileCacheBackend B(F.path());
+    B.record(P1, true, Satisfiability::Sat);
+    B.record(P2, false, Satisfiability::Unsat);
+    EXPECT_EQ(B.pendingEntries(), 2u);
+    std::string Err;
+    ASSERT_TRUE(B.flush(&Err)) << Err;
+    EXPECT_EQ(B.pendingEntries(), 0u);
+  }
+  FileCacheBackend B(F.path());
+  EXPECT_TRUE(B.loadedCleanly());
+  EXPECT_EQ(B.loadedEntries(), 2u);
+  EXPECT_EQ(B.probe(P1, true), Satisfiability::Sat);
+  EXPECT_EQ(B.probe(P2, false), Satisfiability::Unsat);
+  // The other polarity and unseen formulas stay misses.
+  EXPECT_FALSE(B.probe(P1, false).has_value());
+  EXPECT_FALSE(B.probe(fpOf(Ctx, "x == 2"), true).has_value());
+}
+
+TEST(FileCacheBackend, UnknownIsNotPersisted) {
+  ScratchFile F("cache_unknown.log");
+  LogicContext Ctx;
+  FileCacheBackend B(F.path());
+  B.record(fpOf(Ctx, "x == 1"), true, Satisfiability::Unknown);
+  EXPECT_EQ(B.pendingEntries(), 0u);
+  EXPECT_FALSE(B.probe(fpOf(Ctx, "x == 1"), true).has_value());
+}
+
+TEST(FileCacheBackend, DuplicateRecordAppendsOnce) {
+  ScratchFile F("cache_dup.log");
+  LogicContext Ctx;
+  support::Fingerprint FP = fpOf(Ctx, "x == 1");
+  {
+    FileCacheBackend B(F.path());
+    B.record(FP, true, Satisfiability::Sat);
+    B.record(FP, true, Satisfiability::Sat);
+    EXPECT_EQ(B.pendingEntries(), 1u);
+    ASSERT_TRUE(B.flush(nullptr));
+  }
+  // A warm run re-recording a loaded fact appends nothing.
+  FileCacheBackend B(F.path());
+  B.record(FP, true, Satisfiability::Sat);
+  EXPECT_EQ(B.pendingEntries(), 0u);
+  ASSERT_TRUE(B.flush(nullptr));
+  FileCacheBackend C(F.path());
+  EXPECT_EQ(C.loadedEntries(), 1u);
+}
+
+TEST(FileCacheBackend, CorruptHeaderFallsBackColdAndHeals) {
+  ScratchFile F("cache_badheader.log");
+  F.write("not a cache file\n");
+  LogicContext Ctx;
+  support::Fingerprint FP = fpOf(Ctx, "x == 1");
+  {
+    FileCacheBackend B(F.path());
+    EXPECT_FALSE(B.loadedCleanly());
+    EXPECT_EQ(B.loadedEntries(), 0u);
+    // The run proceeds; flushing rewrites the file in the current
+    // format rather than appending after garbage.
+    B.record(FP, true, Satisfiability::Unsat);
+    ASSERT_TRUE(B.flush(nullptr));
+  }
+  FileCacheBackend B(F.path());
+  EXPECT_TRUE(B.loadedCleanly());
+  EXPECT_EQ(B.loadedEntries(), 1u);
+  EXPECT_EQ(B.probe(FP, true), Satisfiability::Unsat);
+}
+
+TEST(FileCacheBackend, FutureVersionIsNotTrusted) {
+  ScratchFile F("cache_version.log");
+  LogicContext Ctx;
+  support::Fingerprint FP = fpOf(Ctx, "x == 1");
+  F.write("{\"format\":\"slam-prover-cache\",\"version\":2}\n" +
+          FP.hex() + " + S\n");
+  FileCacheBackend B(F.path());
+  EXPECT_FALSE(B.loadedCleanly());
+  EXPECT_EQ(B.loadedEntries(), 0u);
+  EXPECT_FALSE(B.probe(FP, true).has_value());
+}
+
+TEST(FileCacheBackend, TornTailKeepsIntactPrefixAndHeals) {
+  ScratchFile F("cache_torn.log");
+  LogicContext Ctx;
+  support::Fingerprint P1 = fpOf(Ctx, "x == 1");
+  support::Fingerprint P2 = fpOf(Ctx, "x == 2");
+  // A crash mid-append leaves a torn final line; everything before it
+  // is trustworthy.
+  F.write(std::string(ValidHeader) + "\n" + P1.hex() + " + S\n" +
+          P2.hex() + " - U\n" + P1.hex().substr(0, 11));
+  {
+    FileCacheBackend B(F.path());
+    EXPECT_FALSE(B.loadedCleanly());
+    EXPECT_EQ(B.loadedEntries(), 2u);
+    EXPECT_EQ(B.probe(P1, true), Satisfiability::Sat);
+    EXPECT_EQ(B.probe(P2, false), Satisfiability::Unsat);
+    // Even with nothing new recorded, the flush rewrites (and thereby
+    // heals) the damaged file — appending would strand entries behind
+    // the torn line.
+    ASSERT_TRUE(B.flush(nullptr));
+  }
+  FileCacheBackend B(F.path());
+  EXPECT_TRUE(B.loadedCleanly());
+  EXPECT_EQ(B.loadedEntries(), 2u);
+}
+
+TEST(FileCacheBackend, ConflictingEntriesDropTheKey) {
+  ScratchFile F("cache_conflict.log");
+  LogicContext Ctx;
+  support::Fingerprint P1 = fpOf(Ctx, "x == 1");
+  support::Fingerprint P2 = fpOf(Ctx, "x == 2");
+  F.write(std::string(ValidHeader) + "\n" + P1.hex() + " + S\n" +
+          P2.hex() + " + S\n" + P1.hex() + " + U\n");
+  FileCacheBackend B(F.path());
+  EXPECT_FALSE(B.loadedCleanly());
+  // Neither answer for the conflicted key can be trusted; the other
+  // key survives.
+  EXPECT_FALSE(B.probe(P1, true).has_value());
+  EXPECT_EQ(B.probe(P2, true), Satisfiability::Sat);
+}
+
+TEST(SharedProverCache, AnswersFromDiskWithoutReRecording) {
+  ScratchFile F("cache_diskhit.log");
+  LogicContext Ctx;
+  ExprRef Phi = parse(Ctx, "x < 4");
+  FileCacheBackend B(F.path());
+  B.record(structuralFingerprint(Phi), true, Satisfiability::Sat);
+  ASSERT_TRUE(B.flush(nullptr));
+
+  // A fresh run: the in-memory cache is empty, the disk is warm.
+  FileCacheBackend Warm(F.path());
+  ASSERT_EQ(Warm.loadedEntries(), 1u);
+  SharedProverCache C(&Warm);
+  auto L = C.lookupOrReserve(Phi);
+  EXPECT_EQ(L.Kind, SharedProverCache::Outcome::DiskHit);
+  EXPECT_EQ(L.Value, Satisfiability::Sat);
+  EXPECT_FALSE(static_cast<bool>(L.Slot));
+  // Results that came from the backend are not appended back to it.
+  EXPECT_EQ(Warm.pendingEntries(), 0u);
+  // The disk answer is now resident in memory.
+  EXPECT_EQ(C.lookupOrReserve(Phi).Kind, SharedProverCache::Outcome::Hit);
+}
+
+TEST(SharedProverCache, DerivesFromOppositePolarityOnDisk) {
+  // The in-memory cache derives Sat(!phi) from Unsat(phi) at publish
+  // time; that derivation is never persisted, so a warm run must
+  // rediscover it by probing the opposite polarity.
+  ScratchFile F("cache_derive.log");
+  LogicContext Ctx;
+  ExprRef Phi = parse(Ctx, "y == 3 && y == 4");
+  FileCacheBackend B(F.path());
+  // Stored fact: the *negative* polarity of the base formula is Unsat.
+  B.record(structuralFingerprint(Phi), false, Satisfiability::Unsat);
+  SharedProverCache C(&B);
+  auto L = C.lookupOrReserve(Phi);
+  EXPECT_EQ(L.Kind, SharedProverCache::Outcome::DiskHit);
+  EXPECT_EQ(L.Value, Satisfiability::Sat);
+  EXPECT_EQ(B.pendingEntries(), 1u); // The probe-time record() above.
+}
+
+TEST(SharedProverCache, PublishRecordsToBackend) {
+  ScratchFile F("cache_publish.log");
+  LogicContext Ctx;
+  ExprRef Phi = parse(Ctx, "x == 1");
+  FileCacheBackend B(F.path());
+  SharedProverCache C(&B);
+  auto L = C.lookupOrReserve(Phi);
+  ASSERT_EQ(L.Kind, SharedProverCache::Outcome::Miss);
+  ASSERT_TRUE(static_cast<bool>(L.Slot));
+  L.Slot.publish(Satisfiability::Unsat);
+  EXPECT_EQ(B.pendingEntries(), 1u);
+  EXPECT_EQ(B.probe(structuralFingerprint(Phi), true),
+            Satisfiability::Unsat);
+  EXPECT_EQ(C.lookupOrReserve(Phi).Kind, SharedProverCache::Outcome::Hit);
+}
+
+TEST(SharedProverCache, AbandonedReservationFreesTheSlot) {
+  // Destroying an unpublished Reservation (an exception, an Unknown
+  // budget bailout) must return the slot to Empty so the query can be
+  // retried — not wedge it in-flight forever.
+  LogicContext Ctx;
+  ExprRef Phi = parse(Ctx, "x == 1");
+  SharedProverCache C;
+  {
+    auto L = C.lookupOrReserve(Phi);
+    ASSERT_EQ(L.Kind, SharedProverCache::Outcome::Miss);
+    // L.Slot destroyed unpublished.
+  }
+  auto L2 = C.lookupOrReserve(Phi);
+  ASSERT_EQ(L2.Kind, SharedProverCache::Outcome::Miss);
+  L2.Slot.publish(Satisfiability::Sat);
+  auto L3 = C.lookupOrReserve(Phi);
+  EXPECT_EQ(L3.Kind, SharedProverCache::Outcome::Hit);
+  EXPECT_EQ(L3.Value, Satisfiability::Sat);
+}
+
+TEST(SharedProverCache, MovedFromReservationDoesNotAbandon) {
+  LogicContext Ctx;
+  ExprRef Phi = parse(Ctx, "x == 1");
+  SharedProverCache C;
+  auto L = C.lookupOrReserve(Phi);
+  ASSERT_EQ(L.Kind, SharedProverCache::Outcome::Miss);
+  {
+    SharedProverCache::Reservation Moved = std::move(L.Slot);
+    EXPECT_FALSE(static_cast<bool>(L.Slot));
+    Moved.publish(Satisfiability::Sat);
+  }
+  // The publish through the moved-to reservation stuck.
+  EXPECT_EQ(C.lookupOrReserve(Phi).Kind, SharedProverCache::Outcome::Hit);
+}

@@ -1,0 +1,227 @@
+//===- IncrementalTest.cpp - Cross-iteration and cross-run reuse -----------===//
+//
+// The two reuse layers behind `--prover-cache` and the abstraction
+// memo, checked for the property that makes them safe to ship: they
+// change how much work runs, never what the pipeline answers. Memo
+// on/off, cold/warm, and corrupt-cache runs must all produce the same
+// verdict, iteration count, predicate set, and trace; the stats then
+// pin down that the warm paths actually skipped the work.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slam/Cegar.h"
+
+#include "prover/CacheBackend.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace slam;
+using namespace slam::slamtool;
+
+namespace {
+
+// The classic locking example under the driver's k=3 cube bound: the
+// first abstraction is too coarse, so validation takes several CEGAR
+// iterations — enough for iteration k+1 to reuse iteration k's work.
+const char *LockingSource = R"(
+    void AcquireLock() { }
+    void ReleaseLock() { }
+    int nondet();
+    void main() {
+      int flag;
+      int work;
+      flag = nondet();
+      work = 0;
+      if (flag > 0) {
+        AcquireLock();
+      }
+      work = work + 1;
+      if (flag > 0) {
+        ReleaseLock();
+      }
+    }
+  )";
+
+struct PipeRun {
+  SlamResult Result;
+  StatsRegistry Stats; // Not movable: filled in place by runPipeline.
+};
+
+/// One fresh-process-like pipeline run: its own context, so interned
+/// ids differ from every other run's (as they would across processes).
+void runPipeline(const PipelineOptions &Options, PipeRun &R) {
+  logic::LogicContext Ctx;
+  DiagnosticEngine Diags;
+  auto Res = checkSafety(LockingSource,
+                         SafetySpec::lockDiscipline("AcquireLock",
+                                                    "ReleaseLock"),
+                         Ctx, Diags, Options, &R.Stats);
+  EXPECT_TRUE(Res.has_value()) << Diags.str();
+  R.Result = Res.value_or(SlamResult{});
+}
+
+PipelineOptions baseOptions() {
+  PipelineOptions O;
+  O.C2bp.Cubes.MaxCubeLength = 3; // The slam driver's default.
+  return O;
+}
+
+/// Everything the slam tool prints to stdout, as a comparison key:
+/// reuse may only change the stats, never this.
+std::string resultKey(const SlamResult &R) {
+  std::ostringstream Out;
+  Out << static_cast<int>(R.V) << '|' << R.Iterations << '|'
+      << R.Predicates.totalCount() << '|';
+  for (const auto &Step : R.Trace)
+    Out << Step.ProcName << ';';
+  return Out.str();
+}
+
+} // namespace
+
+TEST(Incremental, MemoDoesNotChangeTheAnswer) {
+  PipelineOptions With = baseOptions();
+  PipelineOptions Without = baseOptions();
+  Without.Cegar.Incremental = false;
+  PipeRun A;
+  runPipeline(With, A);
+  PipeRun B;
+  runPipeline(Without, B);
+  EXPECT_EQ(A.Result.V, SlamResult::Verdict::Validated);
+  EXPECT_EQ(resultKey(A.Result), resultKey(B.Result));
+  ASSERT_EQ(A.Result.FlightLog.size(), B.Result.FlightLog.size());
+  for (size_t I = 0; I != A.Result.FlightLog.size(); ++I) {
+    EXPECT_EQ(A.Result.FlightLog[I].Predicates,
+              B.Result.FlightLog[I].Predicates);
+    EXPECT_EQ(A.Result.FlightLog[I].NewPredicates,
+              B.Result.FlightLog[I].NewPredicates);
+  }
+  // The memo only ever *removes* cube searches.
+  EXPECT_GT(A.Stats.get("c2bp.memo_hits"), 0u);
+  EXPECT_EQ(B.Stats.get("c2bp.memo_hits"), 0u);
+}
+
+TEST(Incremental, LaterIterationsRecomputeOnlyChangedStatements) {
+  PipeRun R;
+  runPipeline(baseOptions(), R);
+  ASSERT_GE(R.Result.FlightLog.size(), 2u);
+  // Iteration 1 has nothing to reuse.
+  EXPECT_EQ(R.Result.FlightLog[0].StmtsReused, 0u);
+  EXPECT_GT(R.Result.FlightLog[0].StmtsRecomputed, 0u);
+  uint64_t Reused = 0;
+  for (size_t I = 1; I != R.Result.FlightLog.size(); ++I) {
+    const IterationRecord &Rec = R.Result.FlightLog[I];
+    Reused += Rec.StmtsReused;
+    // New predicates enlarge some cones, so *some* statements rerun —
+    // but never more than iteration 1 re-ran from scratch.
+    EXPECT_LE(Rec.StmtsRecomputed, R.Result.FlightLog[0].StmtsRecomputed);
+  }
+  EXPECT_GT(Reused, 0u);
+}
+
+TEST(Incremental, NonIncrementalLogsNoReuse) {
+  PipelineOptions O = baseOptions();
+  O.Cegar.Incremental = false;
+  PipeRun R;
+  runPipeline(O, R);
+  for (const IterationRecord &Rec : R.Result.FlightLog)
+    EXPECT_EQ(Rec.StmtsReused, 0u);
+}
+
+TEST(Incremental, WarmPersistentCacheSkipsTheProver) {
+  std::string Path = ::testing::TempDir() + "incr_warm.log";
+  std::remove(Path.c_str());
+  PipelineOptions O = baseOptions();
+  O.ProverCachePath = Path;
+
+  PipeRun Cold;
+  runPipeline(O, Cold);
+  uint64_t ColdCalls = Cold.Stats.get("prover.calls");
+  EXPECT_GT(ColdCalls, 0u);
+  EXPECT_EQ(Cold.Stats.get("prover.disk_cache_hits"), 0u);
+
+  // Same options, fresh context: everything must come back identical,
+  // with >= 90% of the prover queries answered from the file.
+  PipeRun Warm;
+  runPipeline(O, Warm);
+  EXPECT_EQ(resultKey(Warm.Result), resultKey(Cold.Result));
+  EXPECT_GT(Warm.Stats.get("prover.disk_cache_hits"), 0u);
+  EXPECT_LE(Warm.Stats.get("prover.calls") * 10, ColdCalls);
+
+  // The warm flight recorder reports its disk hits per iteration.
+  uint64_t Disk = 0;
+  for (const IterationRecord &Rec : Warm.Result.FlightLog)
+    Disk += Rec.DiskHits;
+  EXPECT_EQ(Disk, Warm.Stats.get("prover.disk_cache_hits"));
+  std::remove(Path.c_str());
+}
+
+TEST(Incremental, InjectedBackendTakesPrecedenceOverPath) {
+  // An injected backend (embedders, tests) must win over
+  // ProverCachePath — here the path is unwritable garbage that would
+  // fail loudly if opened.
+  std::string Path = ::testing::TempDir() + "incr_injected.log";
+  std::remove(Path.c_str());
+  {
+    prover::FileCacheBackend Backend(Path);
+    PipelineOptions O = baseOptions();
+    O.ProverCachePath = "/nonexistent-dir/never-created.log";
+    O.Backend = &Backend;
+
+    PipeRun Cold;
+    runPipeline(O, Cold);
+    uint64_t ColdCalls = Cold.Stats.get("prover.calls");
+    EXPECT_GT(ColdCalls, 0u);
+    EXPECT_GT(Backend.pendingEntries(), 0u);
+
+    PipeRun Warm;
+    runPipeline(O, Warm);
+    EXPECT_EQ(resultKey(Warm.Result), resultKey(Cold.Result));
+    EXPECT_LE(Warm.Stats.get("prover.calls") * 10, ColdCalls);
+  }
+  // After the backend's exit flush, so the file is not recreated.
+  std::remove(Path.c_str());
+}
+
+TEST(Incremental, CorruptCacheFileRunsColdAndHeals) {
+  std::string Path = ::testing::TempDir() + "incr_corrupt.log";
+  {
+    std::ofstream Out(Path, std::ios::trunc);
+    Out << "** not a prover cache **\ngarbage line\n";
+  }
+  PipelineOptions O = baseOptions();
+  O.ProverCachePath = Path;
+  PipeRun R;
+  runPipeline(O, R);
+  // The damaged file cost a warning, not the verdict and not a crash.
+  EXPECT_EQ(R.Result.V, SlamResult::Verdict::Validated);
+  EXPECT_EQ(R.Stats.get("prover.disk_cache_hits"), 0u);
+
+  // The run's exit flush rewrote the file; a second run is warm.
+  PipeRun Warm;
+  runPipeline(O, Warm);
+  EXPECT_EQ(resultKey(Warm.Result), resultKey(R.Result));
+  EXPECT_GT(Warm.Stats.get("prover.disk_cache_hits"), 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(Incremental, MemoAndPersistentCacheCompose) {
+  // Both layers on, parallel workers, warm disk: still the same answer.
+  std::string Path = ::testing::TempDir() + "incr_compose.log";
+  std::remove(Path.c_str());
+  PipelineOptions O = baseOptions();
+  O.ProverCachePath = Path;
+  O.C2bp.NumWorkers = 2;
+  PipeRun Cold;
+  runPipeline(O, Cold);
+  PipeRun Warm;
+  runPipeline(O, Warm);
+  EXPECT_EQ(resultKey(Warm.Result), resultKey(Cold.Result));
+  EXPECT_GT(Warm.Stats.get("c2bp.memo_hits"), 0u);
+  EXPECT_GT(Warm.Stats.get("prover.disk_cache_hits"), 0u);
+  std::remove(Path.c_str());
+}

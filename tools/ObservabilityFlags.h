@@ -1,32 +1,28 @@
-//===- ObservabilityFlags.h - Shared tool observability flags ---*- C++ -*-===//
+//===- ObservabilityFlags.h - Shared tool observability plumbing -*- C++ -*-===//
 //
 // Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The observability flags every driver (slam, c2bp, bebop) accepts:
-///
-///   --trace-out <file>     write a Chrome trace-event JSON file
-///   --stats-json <file>    write the statistics registry as JSON
-///   --report               print a human-readable statistics report
-///   --slow-query-ms <ms>   log prover queries at/above the threshold
-///
-/// One parser so the three mains cannot drift apart; each main calls
-/// tryParse() from its flag loop, install() before the pipeline runs,
-/// and finish() once it has its final StatsRegistry.
+/// Turns the data-only slamtool::ObservabilityOptions (populated by
+/// tools/PipelineFlags.h) into effect: installs the global trace
+/// recorder and slow-query threshold before the pipeline runs, and
+/// writes the requested trace/stats files afterwards. One
+/// implementation so the three mains cannot drift apart; each calls
+/// install() before the pipeline and finish() once it has its final
+/// StatsRegistry.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef TOOLS_OBSERVABILITYFLAGS_H
 #define TOOLS_OBSERVABILITYFLAGS_H
 
-#include "support/CliArgs.h"
+#include "slam/Pipeline.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
 #include <cstdio>
-#include <cstring>
 #include <memory>
 #include <string>
 
@@ -35,60 +31,21 @@ namespace tools {
 
 class ObservabilityFlags {
 public:
-  enum class Parse {
-    NotMine,  ///< argv[I] is not an observability flag.
-    Consumed, ///< Flag (and its value, if any) consumed; I advanced.
-    Error,    ///< Flag recognized but malformed; exit 2.
-  };
+  explicit ObservabilityFlags(const slamtool::ObservabilityOptions &Opts)
+      : Opts(Opts) {}
 
-  /// Tries to consume argv[I]; advances I past any flag value.
-  Parse tryParse(const char *Tool, int Argc, char **Argv, int &I) {
-    auto Value = [&](const char *Flag) -> const char * {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "%s: %s requires a value\n", Tool, Flag);
-        return nullptr;
-      }
-      return Argv[++I];
-    };
-    if (!std::strcmp(Argv[I], "--trace-out")) {
-      const char *V = Value("--trace-out");
-      if (!V)
-        return Parse::Error;
-      TraceOut = V;
-      return Parse::Consumed;
-    }
-    if (!std::strcmp(Argv[I], "--stats-json")) {
-      const char *V = Value("--stats-json");
-      if (!V)
-        return Parse::Error;
-      StatsJsonOut = V;
-      return Parse::Consumed;
-    }
-    if (!std::strcmp(Argv[I], "--report")) {
-      Report = true;
-      return Parse::Consumed;
-    }
-    if (!std::strcmp(Argv[I], "--slow-query-ms")) {
-      const char *V = Value("--slow-query-ms");
-      double Ms;
-      if (!V || !cli::msArg(Tool, "--slow-query-ms", V, Ms))
-        return Parse::Error;
-      trace::setSlowQueryMillis(Ms);
-      return Parse::Consumed;
-    }
-    return Parse::NotMine;
-  }
-
-  /// Installs the global trace recorder when --trace-out was given.
-  /// Call after flag parsing, before any pipeline work.
+  /// Installs the trace recorder and slow-query threshold. Call after
+  /// flag parsing, before any pipeline work.
   void install() {
-    if (TraceOut.empty())
+    if (Opts.SlowQueryMillis >= 0)
+      trace::setSlowQueryMillis(Opts.SlowQueryMillis);
+    if (Opts.TraceOutPath.empty())
       return;
     Recorder = std::make_unique<TraceRecorder>();
     TraceRecorder::setActive(Recorder.get());
   }
 
-  bool wantReport() const { return Report; }
+  bool wantReport() const { return Opts.Report; }
 
   /// Uninstalls the recorder and writes the requested files. Returns
   /// false (after a message on stderr) if any file cannot be written.
@@ -97,18 +54,18 @@ public:
     if (Recorder) {
       TraceRecorder::setActive(nullptr);
       std::string Err;
-      if (!Recorder->writeChromeJson(TraceOut, &Err)) {
+      if (!Recorder->writeChromeJson(Opts.TraceOutPath, &Err)) {
         std::fprintf(stderr, "%s: cannot write trace '%s': %s\n", Tool,
-                     TraceOut.c_str(), Err.c_str());
+                     Opts.TraceOutPath.c_str(), Err.c_str());
         Ok = false;
       }
     }
-    if (!StatsJsonOut.empty()) {
+    if (!Opts.StatsJsonPath.empty()) {
       std::string Doc = statsToJson(Stats);
-      std::FILE *F = std::fopen(StatsJsonOut.c_str(), "w");
+      std::FILE *F = std::fopen(Opts.StatsJsonPath.c_str(), "w");
       if (!F || std::fwrite(Doc.data(), 1, Doc.size(), F) != Doc.size()) {
         std::fprintf(stderr, "%s: cannot write stats '%s'\n", Tool,
-                     StatsJsonOut.c_str());
+                     Opts.StatsJsonPath.c_str());
         Ok = false;
       }
       if (F)
@@ -135,9 +92,7 @@ public:
   }
 
 private:
-  std::string TraceOut;
-  std::string StatsJsonOut;
-  bool Report = false;
+  slamtool::ObservabilityOptions Opts;
   std::unique_ptr<TraceRecorder> Recorder;
 };
 

@@ -1,0 +1,352 @@
+//===- PipelineFlags.h - The one command-line parser ------------*- C++ -*-===//
+//
+// Part of the SLAM/C2bp reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line parsing for all three drivers, in one place. Each main
+/// is a single call:
+///
+///     tools::PipelineArgs PA;
+///     if (auto Exit = tools::parsePipelineFlags(ToolKind::Slam, argc,
+///                                               argv, PA))
+///       return *Exit;
+///
+/// and gets back a fully-populated slamtool::PipelineOptions plus the
+/// positional inputs. Shared flags (observability, cube search,
+/// workers, the prover cache) are therefore spelled, validated, and
+/// documented identically across tools, and `--help` / unknown-option
+/// behavior cannot drift: every tool prints its usage to stdout on
+/// --help (exit 0) and a one-line "unknown option ... (try --help)" to
+/// stderr otherwise (exit 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TOOLS_PIPELINEFLAGS_H
+#define TOOLS_PIPELINEFLAGS_H
+
+#include "slam/Pipeline.h"
+#include "slam/SafetySpec.h"
+#include "support/CliArgs.h"
+#include "support/ThreadPool.h"
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace slam {
+namespace tools {
+
+enum class ToolKind { Slam, C2bp, Bebop };
+
+inline const char *toolName(ToolKind T) {
+  switch (T) {
+  case ToolKind::Slam:
+    return "slam";
+  case ToolKind::C2bp:
+    return "c2bp";
+  case ToolKind::Bebop:
+    return "bebop";
+  }
+  return "?";
+}
+
+/// Everything a driver main needs from its command line.
+struct PipelineArgs {
+  slamtool::PipelineOptions Options;
+  /// Positional arguments, in order (each tool's expected count is
+  /// enforced by the parser).
+  std::vector<std::string> Inputs;
+  /// slam only: a --lock/--irp property was given.
+  bool HaveSpec = false;
+  slamtool::SafetySpec Spec;
+};
+
+inline void printHelp(ToolKind Tool) {
+  static const char *Common =
+      "  --trace-out <file>      write a Chrome trace-event JSON file\n"
+      "  --stats-json <file>     write the statistics registry as JSON\n"
+      "  --report                print the per-tool statistics report\n"
+      "  --slow-query-ms <ms>    log slow prover queries to stderr\n"
+      "  --help, -h              print this help and exit\n";
+  switch (Tool) {
+  case ToolKind::Slam:
+    std::printf(
+        "usage: slam <program.c> [options]\n\n"
+        "Runs the full abstract-check-refine loop on a C program.\n"
+        "Without a property option, the program's own assert statements\n"
+        "are checked (starting from an empty predicate set).\n\n"
+        "  --lock <acq>,<rel>      check the locking discipline on the two\n"
+        "                          named interface functions\n"
+        "  --irp <complete>,<pend> check the IRP completion discipline\n"
+        "  --entry <proc>          entry procedure (default: main)\n"
+        "  --max-iters <n>         refinement cap (default: 24)\n"
+        "  -k <n>                  cube length limit (default: 3)\n"
+        "  -j <n>                  worker threads per abstraction pass\n"
+        "                          (default: 1; 0 = one per hardware "
+        "thread)\n"
+        "  --prover-cache <file>   persist prover results across runs\n"
+        "  --no-incremental        re-abstract every statement on every\n"
+        "                          iteration (disable the reuse memo)\n"
+        "%s",
+        Common);
+    return;
+  case ToolKind::C2bp:
+    std::printf(
+        "usage: c2bp <program.c> <predicates.txt> [options]\n\n"
+        "Writes the boolean program BP(P, E) to stdout.\n\n"
+        "  -k <n>                  maximum cube length (default: "
+        "unlimited)\n"
+        "  -j <n>                  worker threads for the cube searches\n"
+        "                          (default: 1; 0 = one per hardware\n"
+        "                          thread); output is identical for every "
+        "-j\n"
+        "  --no-shared-cache       per-worker prover caches only\n"
+        "  --no-cone               disable the cone-of-influence "
+        "optimization\n"
+        "  --no-enforce            do not emit the enforce data invariant\n"
+        "  --no-alias              use the syntactic alias oracle only\n"
+        "  --alias <mode>          points-to mode: das (default), "
+        "andersen,\n"
+        "                          steensgaard\n"
+        "  --prover-cache <file>   persist prover results across runs\n"
+        "  --stats                 print statistics to stderr\n"
+        "%s",
+        Common);
+    return;
+  case ToolKind::Bebop:
+    std::printf(
+        "usage: bebop <program.bp> [options]\n\n"
+        "Model-checks a boolean program.\n\n"
+        "  --entry <proc>           entry procedure (default: main)\n"
+        "  --invariant <proc> <lbl> print the reachable-state invariant "
+        "at\n"
+        "                           a labeled statement\n"
+        "  --trace                  print the counterexample trace on "
+        "failure\n"
+        "%s",
+        Common);
+    return;
+  }
+}
+
+/// Parses \p Argv into \p Out. Returns an exit code when the process
+/// should stop here (0 for --help, 2 for a usage error), nullopt to
+/// proceed.
+inline std::optional<int> parsePipelineFlags(ToolKind Tool, int Argc,
+                                             char **Argv,
+                                             PipelineArgs &Out) {
+  const char *Name = toolName(Tool);
+  slamtool::PipelineOptions &O = Out.Options;
+  if (Tool == ToolKind::Slam)
+    O.C2bp.Cubes.MaxCubeLength = 3; // The paper's k=3 default end to end.
+
+  int I = 1;
+  // Fetches the (single) value of the flag currently at Argv[I].
+  auto Value = [&](const char *Flag) -> const char * {
+    if (I + 1 >= Argc) {
+      std::fprintf(stderr, "%s: %s requires a value\n", Name, Flag);
+      return nullptr;
+    }
+    return Argv[++I];
+  };
+  auto SplitPair = [](const char *Arg, std::string &A, std::string &B) {
+    const char *Comma = std::strchr(Arg, ',');
+    if (!Comma)
+      return false;
+    A.assign(Arg, Comma);
+    B.assign(Comma + 1);
+    return !A.empty() && !B.empty();
+  };
+
+  for (; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (Arg[0] != '-' || !Arg[1]) {
+      Out.Inputs.push_back(Arg);
+      continue;
+    }
+    long long N;
+
+    // -- Flags every tool accepts ------------------------------------
+    if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h")) {
+      printHelp(Tool);
+      return 0;
+    }
+    if (!std::strcmp(Arg, "--trace-out")) {
+      const char *V = Value(Arg);
+      if (!V)
+        return 2;
+      O.Obs.TraceOutPath = V;
+      continue;
+    }
+    if (!std::strcmp(Arg, "--stats-json")) {
+      const char *V = Value(Arg);
+      if (!V)
+        return 2;
+      O.Obs.StatsJsonPath = V;
+      continue;
+    }
+    if (!std::strcmp(Arg, "--report")) {
+      O.Obs.Report = true;
+      continue;
+    }
+    if (!std::strcmp(Arg, "--slow-query-ms")) {
+      const char *V = Value(Arg);
+      if (!V || !cli::msArg(Name, "--slow-query-ms", V, O.Obs.SlowQueryMillis))
+        return 2;
+      continue;
+    }
+
+    // -- slam + c2bp: abstraction knobs ------------------------------
+    if (Tool != ToolKind::Bebop) {
+      if (!std::strcmp(Arg, "-k")) {
+        const char *V = Value(Arg);
+        if (!V || !cli::intArg(Name, "-k", V, 0, N))
+          return 2;
+        O.C2bp.Cubes.MaxCubeLength = static_cast<int>(N);
+        continue;
+      }
+      if (!std::strcmp(Arg, "-j")) {
+        const char *V = Value(Arg);
+        if (!V || !cli::workersArg(Name, V, O.C2bp.NumWorkers))
+          return 2;
+        if (O.C2bp.NumWorkers == 0)
+          O.C2bp.NumWorkers =
+              static_cast<int>(ThreadPool::defaultConcurrency());
+        continue;
+      }
+      if (!std::strcmp(Arg, "--prover-cache")) {
+        const char *V = Value(Arg);
+        if (!V)
+          return 2;
+        O.ProverCachePath = V;
+        continue;
+      }
+    }
+
+    // -- slam only ---------------------------------------------------
+    if (Tool == ToolKind::Slam) {
+      if (!std::strcmp(Arg, "--lock") || !std::strcmp(Arg, "--irp")) {
+        bool Lock = Arg[2] == 'l';
+        const char *V = Value(Arg);
+        std::string A, B;
+        if (!V || !SplitPair(V, A, B)) {
+          std::fprintf(stderr, "%s: %s expects '<name>,<name>'\n", Name,
+                       Arg);
+          return 2;
+        }
+        Out.Spec = Lock ? slamtool::SafetySpec::lockDiscipline(A, B)
+                        : slamtool::SafetySpec::irpDiscipline(A, B);
+        Out.HaveSpec = true;
+        continue;
+      }
+      if (!std::strcmp(Arg, "--entry")) {
+        const char *V = Value(Arg);
+        if (!V)
+          return 2;
+        O.Cegar.EntryProc = V;
+        continue;
+      }
+      if (!std::strcmp(Arg, "--max-iters")) {
+        const char *V = Value(Arg);
+        if (!V || !cli::intArg(Name, "--max-iters", V, 1, N))
+          return 2;
+        O.Cegar.MaxIterations = static_cast<int>(N);
+        continue;
+      }
+      if (!std::strcmp(Arg, "--no-incremental")) {
+        O.Cegar.Incremental = false;
+        continue;
+      }
+    }
+
+    // -- c2bp only ---------------------------------------------------
+    if (Tool == ToolKind::C2bp) {
+      if (!std::strcmp(Arg, "--no-shared-cache")) {
+        O.C2bp.UseSharedProverCache = false;
+        continue;
+      }
+      if (!std::strcmp(Arg, "--no-cone")) {
+        O.C2bp.Cubes.ConeOfInfluence = false;
+        continue;
+      }
+      if (!std::strcmp(Arg, "--no-enforce")) {
+        O.C2bp.UseEnforce = false;
+        continue;
+      }
+      if (!std::strcmp(Arg, "--no-alias")) {
+        O.C2bp.UseAliasAnalysis = false;
+        continue;
+      }
+      if (!std::strcmp(Arg, "--alias")) {
+        const char *V = Value(Arg);
+        if (!V)
+          return 2;
+        if (!std::strcmp(V, "das"))
+          O.C2bp.AliasMode = alias::Mode::Das;
+        else if (!std::strcmp(V, "andersen"))
+          O.C2bp.AliasMode = alias::Mode::Andersen;
+        else if (!std::strcmp(V, "steensgaard"))
+          O.C2bp.AliasMode = alias::Mode::Steensgaard;
+        else {
+          std::fprintf(stderr, "%s: unknown alias mode '%s'\n", Name, V);
+          return 2;
+        }
+        continue;
+      }
+      if (!std::strcmp(Arg, "--stats")) {
+        O.PrintStats = true;
+        continue;
+      }
+    }
+
+    // -- bebop only --------------------------------------------------
+    if (Tool == ToolKind::Bebop) {
+      if (!std::strcmp(Arg, "--entry")) {
+        const char *V = Value(Arg);
+        if (!V)
+          return 2;
+        O.Bebop.EntryProc = V;
+        continue;
+      }
+      if (!std::strcmp(Arg, "--invariant")) {
+        if (I + 2 >= Argc) {
+          std::fprintf(stderr, "%s: --invariant expects <proc> <label>\n",
+                       Name);
+          return 2;
+        }
+        O.Bebop.InvariantProc = Argv[++I];
+        O.Bebop.InvariantLabel = Argv[++I];
+        continue;
+      }
+      if (!std::strcmp(Arg, "--trace")) {
+        O.Bebop.PrintTrace = true;
+        continue;
+      }
+    }
+
+    std::fprintf(stderr, "%s: unknown option '%s' (try --help)\n", Name,
+                 Arg);
+    return 2;
+  }
+
+  size_t Want = Tool == ToolKind::C2bp ? 2 : 1;
+  if (Out.Inputs.size() != Want) {
+    const char *What = Tool == ToolKind::C2bp
+                           ? "<program.c> <predicates.txt>"
+                           : (Tool == ToolKind::Slam ? "<program.c>"
+                                                     : "<program.bp>");
+    std::fprintf(stderr, "usage: %s %s [options] (try --help)\n", Name,
+                 What);
+    return 2;
+  }
+  return std::nullopt;
+}
+
+} // namespace tools
+} // namespace slam
+
+#endif // TOOLS_PIPELINEFLAGS_H

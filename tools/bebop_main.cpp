@@ -4,67 +4,36 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Usage: bebop <program.bp> [options]
-//
-//   --entry <proc>            entry procedure (default: main)
-//   --invariant <proc> <label> print the reachable-state invariant at a
-//                              labeled statement
-//   --trace                   print the counterexample trace on failure
-//   --trace-out <file>        write a Chrome trace-event JSON file
-//   --stats-json <file>       write the statistics registry as JSON
-//   --report                  print stats + histogram summary
+// Usage: bebop <program.bp> [options] — see `bebop --help` (the flag
+// set lives in tools/PipelineFlags.h, shared with slam and c2bp).
 //
 //===----------------------------------------------------------------------===//
 
 #include "ObservabilityFlags.h"
+#include "PipelineFlags.h"
 #include "bebop/Bebop.h"
 #include "bp/BPParser.h"
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 
 using namespace slam;
 
 int main(int argc, char **argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: bebop <program.bp> [options]\n");
-    return 2;
-  }
-  std::ifstream In(argv[1]);
+  tools::PipelineArgs PA;
+  if (auto Exit =
+          tools::parsePipelineFlags(tools::ToolKind::Bebop, argc, argv, PA))
+    return *Exit;
+  const slamtool::BebopToolOptions &Options = PA.Options.Bebop;
+
+  std::ifstream In(PA.Inputs[0]);
   if (!In) {
-    std::fprintf(stderr, "bebop: cannot read '%s'\n", argv[1]);
+    std::fprintf(stderr, "bebop: cannot read '%s'\n", PA.Inputs[0].c_str());
     return 2;
   }
   std::ostringstream Buf;
   Buf << In.rdbuf();
-
-  std::string Entry = "main";
-  std::string InvProc, InvLabel;
-  bool PrintTrace = false;
-  tools::ObservabilityFlags Obs;
-  for (int I = 2; I < argc; ++I) {
-    switch (Obs.tryParse("bebop", argc, argv, I)) {
-    case tools::ObservabilityFlags::Parse::Consumed:
-      continue;
-    case tools::ObservabilityFlags::Parse::Error:
-      return 2;
-    case tools::ObservabilityFlags::Parse::NotMine:
-      break;
-    }
-    if (!std::strcmp(argv[I], "--entry") && I + 1 < argc) {
-      Entry = argv[++I];
-    } else if (!std::strcmp(argv[I], "--invariant") && I + 2 < argc) {
-      InvProc = argv[++I];
-      InvLabel = argv[++I];
-    } else if (!std::strcmp(argv[I], "--trace")) {
-      PrintTrace = true;
-    } else {
-      std::fprintf(stderr, "bebop: unknown option '%s'\n", argv[I]);
-      return 2;
-    }
-  }
 
   DiagnosticEngine Diags;
   auto P = bp::parseBProgram(Buf.str(), Diags);
@@ -72,19 +41,21 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
     return 1;
   }
-  if (!P->findProc(Entry)) {
-    std::fprintf(stderr, "bebop: no procedure '%s'\n", Entry.c_str());
+  if (!P->findProc(Options.EntryProc)) {
+    std::fprintf(stderr, "bebop: no procedure '%s'\n",
+                 Options.EntryProc.c_str());
     return 2;
   }
 
+  tools::ObservabilityFlags Obs(PA.Options.Obs);
   Obs.install();
   StatsRegistry Stats;
   bebop::Bebop Checker(*P, &Stats);
-  auto R = Checker.run(Entry);
+  auto R = Checker.run(Options.EntryProc);
   std::printf("assert violated: %s\n", R.AssertViolated ? "yes" : "no");
   if (R.AssertViolated) {
     std::printf("failing procedure: %s\n", R.FailingProc.c_str());
-    if (PrintTrace) {
+    if (Options.PrintTrace) {
       std::printf("trace (%zu steps):\n", R.Trace.size());
       for (const auto &Step : R.Trace)
         std::printf("  [%s] %s", Step.ProcName.c_str(),
@@ -92,10 +63,11 @@ int main(int argc, char **argv) {
                               : "<entry>\n");
     }
   }
-  if (!InvProc.empty())
-    std::printf("invariant at %s:%s: %s\n", InvProc.c_str(),
-                InvLabel.c_str(),
-                Checker.invariantAtLabel(InvProc, InvLabel).c_str());
+  if (!Options.InvariantProc.empty())
+    std::printf("invariant at %s:%s: %s\n", Options.InvariantProc.c_str(),
+                Options.InvariantLabel.c_str(),
+                Checker.invariantAtLabel(Options.InvariantProc,
+                                         Options.InvariantLabel).c_str());
   if (Obs.wantReport())
     tools::ObservabilityFlags::printStatsReport(stdout, Stats);
   if (!Obs.finish("bebop", Stats))

@@ -4,40 +4,28 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Usage: c2bp <program.c> <predicates.txt> [options]
+// Usage: c2bp <program.c> <predicates.txt> [options] — see
+// `c2bp --help` (the flag set lives in tools/PipelineFlags.h, shared
+// with slam and bebop).
 //
-//   -k <n>          maximum cube length (default: unlimited)
-//   -j <n>          worker threads for the cube searches (default: 1;
-//                   0 = one per hardware thread). Output is identical
-//                   for every -j value.
-//   --no-cone       disable the cone-of-influence optimization
-//   --no-enforce    do not emit the enforce data invariant
-//   --no-alias      use the syntactic alias oracle only
-//   --alias <mode>  points-to mode: das (default), andersen, steensgaard
-//   --stats         print statistics to stderr
-//   --trace-out <file>    write a Chrome trace-event JSON file
-//   --stats-json <file>   write the statistics registry as JSON
-//   --report              print stats + histogram summary to stderr
-//   --slow-query-ms <ms>  log slow prover queries to stderr
-//
-// Writes the boolean program BP(P, E) to stdout.
+// Writes the boolean program BP(P, E) to stdout; reports go to stderr.
 //
 //===----------------------------------------------------------------------===//
 
 #include "ObservabilityFlags.h"
+#include "PipelineFlags.h"
 #include "c2bp/C2bp.h"
 #include "cfront/Normalize.h"
-#include "support/CliArgs.h"
-#include "support/ThreadPool.h"
+#include "prover/CacheBackend.h"
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 using namespace slam;
 
-static bool readFile(const char *Path, std::string &Out) {
+static bool readFile(const std::string &Path, std::string &Out) {
   std::ifstream In(Path);
   if (!In)
     return false;
@@ -48,73 +36,34 @@ static bool readFile(const char *Path, std::string &Out) {
 }
 
 int main(int argc, char **argv) {
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: c2bp <program.c> <predicates.txt> [options]\n");
-    return 2;
-  }
+  tools::PipelineArgs PA;
+  if (auto Exit =
+          tools::parsePipelineFlags(tools::ToolKind::C2bp, argc, argv, PA))
+    return *Exit;
+
   std::string Source, PredText;
-  if (!readFile(argv[1], Source)) {
-    std::fprintf(stderr, "c2bp: cannot read '%s'\n", argv[1]);
+  if (!readFile(PA.Inputs[0], Source)) {
+    std::fprintf(stderr, "c2bp: cannot read '%s'\n", PA.Inputs[0].c_str());
     return 2;
   }
-  if (!readFile(argv[2], PredText)) {
-    std::fprintf(stderr, "c2bp: cannot read '%s'\n", argv[2]);
+  if (!readFile(PA.Inputs[1], PredText)) {
+    std::fprintf(stderr, "c2bp: cannot read '%s'\n", PA.Inputs[1].c_str());
     return 2;
   }
 
-  c2bp::C2bpOptions Options;
-  bool PrintStats = false;
-  tools::ObservabilityFlags Obs;
-  for (int I = 3; I < argc; ++I) {
-    long long N;
-    switch (Obs.tryParse("c2bp", argc, argv, I)) {
-    case tools::ObservabilityFlags::Parse::Consumed:
-      continue;
-    case tools::ObservabilityFlags::Parse::Error:
-      return 2;
-    case tools::ObservabilityFlags::Parse::NotMine:
-      break;
-    }
-    if (!std::strcmp(argv[I], "-k") && I + 1 < argc) {
-      if (!cli::intArg("c2bp", "-k", argv[++I], 0, N))
-        return 2;
-      Options.Cubes.MaxCubeLength = static_cast<int>(N);
-    } else if (!std::strcmp(argv[I], "-j") && I + 1 < argc) {
-      if (!cli::workersArg("c2bp", argv[++I], Options.NumWorkers))
-        return 2;
-      if (Options.NumWorkers == 0)
-        Options.NumWorkers =
-            static_cast<int>(ThreadPool::defaultConcurrency());
-    } else if (!std::strcmp(argv[I], "--no-shared-cache")) {
-      Options.UseSharedProverCache = false;
-    } else if (!std::strcmp(argv[I], "--no-cone")) {
-      Options.Cubes.ConeOfInfluence = false;
-    } else if (!std::strcmp(argv[I], "--no-enforce")) {
-      Options.UseEnforce = false;
-    } else if (!std::strcmp(argv[I], "--no-alias")) {
-      Options.UseAliasAnalysis = false;
-    } else if (!std::strcmp(argv[I], "--alias") && I + 1 < argc) {
-      std::string Mode = argv[++I];
-      if (Mode == "das")
-        Options.AliasMode = alias::Mode::Das;
-      else if (Mode == "andersen")
-        Options.AliasMode = alias::Mode::Andersen;
-      else if (Mode == "steensgaard")
-        Options.AliasMode = alias::Mode::Steensgaard;
-      else {
-        std::fprintf(stderr, "c2bp: unknown alias mode '%s'\n",
-                     Mode.c_str());
-        return 2;
-      }
-    } else if (!std::strcmp(argv[I], "--stats")) {
-      PrintStats = true;
-    } else {
-      std::fprintf(stderr, "c2bp: unknown option '%s'\n", argv[I]);
-      return 2;
-    }
+  c2bp::C2bpOptions Options = PA.Options.C2bp;
+  // Standalone persistence: one run is one "iteration", so only the
+  // prover cache (not the cross-iteration memo) applies here.
+  std::unique_ptr<prover::FileCacheBackend> Backend;
+  std::unique_ptr<prover::SharedProverCache> RunCache;
+  if (!PA.Options.ProverCachePath.empty()) {
+    Backend = std::make_unique<prover::FileCacheBackend>(
+        PA.Options.ProverCachePath);
+    RunCache = std::make_unique<prover::SharedProverCache>(Backend.get());
+    Options.ExternalCache = RunCache.get();
   }
 
+  tools::ObservabilityFlags Obs(PA.Options.Obs);
   Obs.install();
   StatsRegistry Stats;
   DiagnosticEngine Diags;
@@ -140,7 +89,7 @@ int main(int argc, char **argv) {
     return 1;
   }
   std::printf("%s", BP->str().c_str());
-  if (PrintStats)
+  if (PA.Options.PrintStats)
     std::fprintf(stderr, "%s", Stats.str().c_str());
   // stdout carries the boolean program, so the report goes to stderr.
   if (Obs.wantReport())

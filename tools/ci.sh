@@ -14,9 +14,12 @@
 #              Simplex, BDD engine incl. the deep-chain regression)
 #   observability  slam with --trace-out/--stats-json on the example
 #              programs; validates both emitted JSON documents
+#   incremental  slam twice against one --prover-cache file; asserts
+#              byte-identical stdout and a warm run answered almost
+#              entirely from the persistent cache
 #   all        every job above, in order
 #
-# Usage: tools/ci.sh [default|tsan|asan|release|observability|all]
+# Usage: tools/ci.sh [default|tsan|asan|release|observability|incremental|all]
 #
 #===----------------------------------------------------------------------===#
 
@@ -86,13 +89,45 @@ run_observability() {
   done
 }
 
+run_incremental() {
+  echo "=== ci: incremental: cold vs warm persistent prover cache ==="
+  cmake -B "$ROOT/build" -S "$ROOT" -DSLAM_SANITIZE=
+  cmake --build "$ROOT/build" -j --target slam
+  local TMP
+  TMP="$(mktemp -d)"
+  trap 'rm -rf "$TMP"' RETURN
+  # Two identical invocations sharing one cache file. The first fills
+  # it; the second must print byte-identical stdout (the contract that
+  # lets --prover-cache be turned on anywhere) while doing almost none
+  # of the prover work.
+  "$ROOT/build/tools/slam" "$ROOT/examples/programs/locking.c"     --lock AcquireLock,ReleaseLock --prover-cache "$TMP/prover.cache"     --stats-json "$TMP/cold.stats.json" > "$TMP/cold.out"
+  "$ROOT/build/tools/slam" "$ROOT/examples/programs/locking.c"     --lock AcquireLock,ReleaseLock --prover-cache "$TMP/prover.cache"     --stats-json "$TMP/warm.stats.json" > "$TMP/warm.out"
+  cmp "$TMP/cold.out" "$TMP/warm.out"
+  echo "ci: cold and warm stdout are byte-identical"
+  python3 - "$TMP/cold.stats.json" "$TMP/warm.stats.json" <<'PY'
+import json, sys
+cold = json.load(open(sys.argv[1]))["counters"]
+warm = json.load(open(sys.argv[2]))["counters"]
+cold_calls = cold.get("prover.calls", 0)
+warm_calls = warm.get("prover.calls", 0)
+disk = warm.get("prover.disk_cache_hits", 0)
+assert cold_calls > 0, "cold run made no prover calls?"
+assert disk > 0, "warm run never hit the persistent cache"
+# The acceptance bar: >= 90% of the cold run's prover work vanishes.
+assert warm_calls * 10 <= cold_calls,     f"warm run still made {warm_calls}/{cold_calls} prover calls"
+print(f"ci: warm run: {warm_calls} prover calls "
+      f"(cold: {cold_calls}), {disk} persistent-cache hits")
+PY
+}
+
 case "$JOB" in
   default) run_default ;;
   tsan)    run_tsan ;;
   asan)    run_asan ;;
   release) run_release ;;
   observability) run_observability ;;
-  all)     run_default; run_tsan; run_asan; run_release; run_observability ;;
-  *) echo "ci.sh: unknown job '$JOB' (default|tsan|asan|release|observability|all)" >&2; exit 2 ;;
+  incremental) run_incremental ;;
+  all)     run_default; run_tsan; run_asan; run_release; run_observability; run_incremental ;;
+  *) echo "ci.sh: unknown job '$JOB' (default|tsan|asan|release|observability|incremental|all)" >&2; exit 2 ;;
 esac
 echo "=== ci: $JOB passed ==="

@@ -4,34 +4,24 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Usage: slam <program.c> [options]
+// Usage: slam <program.c> [options] — see `slam --help` (the flag set
+// lives in tools/PipelineFlags.h, shared with c2bp and bebop).
 //
-//   --lock <acq>,<rel>      check the locking discipline on the two
-//                           named interface functions
-//   --irp <complete>,<pend> check the IRP completion discipline
-//   --entry <proc>          entry procedure (default: main)
-//   --max-iters <n>         refinement cap (default: 24)
-//   -k <n>                  cube length limit (default: 3)
-//   -j <n>                  worker threads for each abstraction pass
-//                           (default: 1; 0 = one per hardware thread)
-//   --trace-out <file>      write a Chrome trace-event JSON file
-//   --stats-json <file>     write the statistics registry as JSON
-//   --report                print the CEGAR flight recorder table
-//   --slow-query-ms <ms>    log slow prover queries to stderr
-//
-// Without a property option, the program's own assert statements are
-// checked (starting from an empty predicate set).
+// stdout carries only the stable result lines (verdict, iterations,
+// predicates, error path); everything run-dependent — prover-call
+// volume, cache effectiveness, the flight recorder — is behind
+// --report / --stats-json, so a cold run, a warm run against a
+// persistent cache, and a cache-disabled run print byte-identical
+// output.
 //
 //===----------------------------------------------------------------------===//
 
 #include "ObservabilityFlags.h"
+#include "PipelineFlags.h"
 #include "cfront/Normalize.h"
 #include "slam/Cegar.h"
-#include "support/CliArgs.h"
-#include "support/ThreadPool.h"
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -45,87 +35,32 @@ static logic::LogicContext &Ctx() {
 }
 
 int main(int argc, char **argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: slam <program.c> [options]\n");
-    return 2;
-  }
-  std::ifstream In(argv[1]);
+  tools::PipelineArgs PA;
+  if (auto Exit =
+          tools::parsePipelineFlags(tools::ToolKind::Slam, argc, argv, PA))
+    return *Exit;
+
+  std::ifstream In(PA.Inputs[0]);
   if (!In) {
-    std::fprintf(stderr, "slam: cannot read '%s'\n", argv[1]);
+    std::fprintf(stderr, "slam: cannot read '%s'\n", PA.Inputs[0].c_str());
     return 2;
   }
   std::ostringstream Buf;
   Buf << In.rdbuf();
   std::string Source = Buf.str();
 
-  slamtool::SlamOptions Options;
-  Options.C2bp.Cubes.MaxCubeLength = 3;
-  bool HaveSpec = false;
-  slamtool::SafetySpec Spec;
-
-  auto SplitPair = [](const char *Arg, std::string &A, std::string &B) {
-    const char *Comma = std::strchr(Arg, ',');
-    if (!Comma)
-      return false;
-    A.assign(Arg, Comma);
-    B.assign(Comma + 1);
-    return !A.empty() && !B.empty();
-  };
-
-  tools::ObservabilityFlags Obs;
-  for (int I = 2; I < argc; ++I) {
-    std::string A, B;
-    long long N;
-    switch (Obs.tryParse("slam", argc, argv, I)) {
-    case tools::ObservabilityFlags::Parse::Consumed:
-      continue;
-    case tools::ObservabilityFlags::Parse::Error:
-      return 2;
-    case tools::ObservabilityFlags::Parse::NotMine:
-      break;
-    }
-    if (!std::strcmp(argv[I], "--lock") && I + 1 < argc &&
-        SplitPair(argv[I + 1], A, B)) {
-      Spec = slamtool::SafetySpec::lockDiscipline(A, B);
-      HaveSpec = true;
-      ++I;
-    } else if (!std::strcmp(argv[I], "--irp") && I + 1 < argc &&
-               SplitPair(argv[I + 1], A, B)) {
-      Spec = slamtool::SafetySpec::irpDiscipline(A, B);
-      HaveSpec = true;
-      ++I;
-    } else if (!std::strcmp(argv[I], "--entry") && I + 1 < argc) {
-      Options.EntryProc = argv[++I];
-    } else if (!std::strcmp(argv[I], "--max-iters") && I + 1 < argc) {
-      if (!cli::intArg("slam", "--max-iters", argv[++I], 1, N))
-        return 2;
-      Options.MaxIterations = static_cast<int>(N);
-    } else if (!std::strcmp(argv[I], "-k") && I + 1 < argc) {
-      if (!cli::intArg("slam", "-k", argv[++I], 0, N))
-        return 2;
-      Options.C2bp.Cubes.MaxCubeLength = static_cast<int>(N);
-    } else if (!std::strcmp(argv[I], "-j") && I + 1 < argc) {
-      if (!cli::workersArg("slam", argv[++I], Options.C2bp.NumWorkers))
-        return 2;
-      if (Options.C2bp.NumWorkers == 0)
-        Options.C2bp.NumWorkers =
-            static_cast<int>(ThreadPool::defaultConcurrency());
-    } else {
-      std::fprintf(stderr, "slam: unknown option '%s'\n", argv[I]);
-      return 2;
-    }
-  }
-
+  tools::ObservabilityFlags Obs(PA.Options.Obs);
   Obs.install();
   DiagnosticEngine Diags;
   StatsRegistry Stats;
   std::optional<SlamResult> R;
-  if (HaveSpec) {
-    R = slamtool::checkSafety(Source, Spec, Ctx(), Diags, Options, &Stats);
+  if (PA.HaveSpec) {
+    R = slamtool::checkSafety(Source, PA.Spec, Ctx(), Diags, PA.Options,
+                              &Stats);
   } else {
     auto P = cfront::frontend(Source, Diags);
     if (P)
-      R = slamtool::checkProgram(*P, {}, Ctx(), Options, &Stats);
+      R = slamtool::checkProgram(*P, {}, Ctx(), PA.Options, &Stats);
   }
   if (!R) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
@@ -140,8 +75,6 @@ int main(int argc, char **argv) {
   std::printf("verdict: %s\n", Verdict);
   std::printf("iterations: %d\n", R->Iterations);
   std::printf("predicates: %zu\n", R->Predicates.totalCount());
-  std::printf("prover calls: %llu\n",
-              static_cast<unsigned long long>(Stats.get("prover.calls")));
   if (R->V == SlamResult::Verdict::BugFound) {
     std::printf("error path (procedures entered): ");
     std::string Last;
@@ -155,16 +88,20 @@ int main(int argc, char **argv) {
 
   if (Obs.wantReport()) {
     std::printf("\nCEGAR flight recorder:\n");
-    std::printf("%5s %6s %7s %6s %7s %10s %9s %9s %9s %6s\n", "iter",
-                "preds", "prover", "hits", "cubes", "bdd-nodes", "c2bp(s)",
-                "bebop(s)", "newton(s)", "new");
+    std::printf("%5s %6s %7s %6s %6s %7s %6s %6s %10s %9s %9s %9s %6s\n",
+                "iter", "preds", "prover", "hits", "disk", "cubes", "reuse",
+                "recomp", "bdd-nodes", "c2bp(s)", "bebop(s)", "newton(s)",
+                "new");
     for (const slamtool::IterationRecord &Rec : R->FlightLog)
-      std::printf("%5d %6zu %7llu %6llu %7llu %10llu %9.3f %9.3f %9.3f "
-                  "%6zu\n",
+      std::printf("%5d %6zu %7llu %6llu %6llu %7llu %6llu %6llu %10llu "
+                  "%9.3f %9.3f %9.3f %6zu\n",
                   Rec.Iteration, Rec.Predicates,
                   static_cast<unsigned long long>(Rec.ProverCalls),
                   static_cast<unsigned long long>(Rec.CacheHits),
+                  static_cast<unsigned long long>(Rec.DiskHits),
                   static_cast<unsigned long long>(Rec.Cubes),
+                  static_cast<unsigned long long>(Rec.StmtsReused),
+                  static_cast<unsigned long long>(Rec.StmtsRecomputed),
                   static_cast<unsigned long long>(Rec.BddNodes),
                   Rec.C2bpSeconds, Rec.BebopSeconds, Rec.NewtonSeconds,
                   Rec.NewPredicates);
